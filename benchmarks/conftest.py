@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Each benchmark regenerates one paper artifact end to end.  The experiment
+layer memoizes plans (`lru_cache`), which is right for interactive use but
+would let later benchmark rounds measure cache hits; ``fresh`` clears all
+caches so every measured round does the full analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import common
+
+
+def clear_experiment_caches() -> None:
+    common.het_plan.cache_clear()
+    common.hom_plan.cache_clear()
+    common.baseline_results.cache_clear()
+
+
+@pytest.fixture
+def fresh():
+    clear_experiment_caches()
+    yield
+    clear_experiment_caches()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark (sweeps are too heavy for
+    statistical rounds; one round still yields a timing row)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

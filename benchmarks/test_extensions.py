@@ -1,0 +1,111 @@
+"""Benchmarks for the extension studies (energy, ablations, resolution,
+Pareto, multi-tenant scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import pareto_frontier, plan_heterogeneous
+from repro.arch import AcceleratorSpec, kib
+from repro.experiments import ablations, energy, resolution
+from repro.nn.zoo import get_model
+from repro.runtime import Discipline, Request, schedule
+
+from conftest import run_once
+
+
+def test_energy_comparison(benchmark, fresh, capsys):
+    cells = run_once(benchmark, energy.run)
+    with capsys.disabled():
+        print("\n" + energy.to_table(cells).render())
+    by = {(c.model, c.glb_kb): c for c in cells}
+    # Access reductions translate to energy reductions at small buffers.
+    assert by[("ResNet18", 64)].reduction_pct > 30.0
+    for c in cells:
+        assert 0.0 < c.het_dram_share < 1.0
+
+
+def test_ablation_interlayer_modes(benchmark, fresh, capsys):
+    rows = run_once(benchmark, ablations.interlayer_modes)
+    with capsys.disabled():
+        print("\n" + ablations.interlayer_modes_table(rows).render())
+    assert all(r.joint_extra_benefit_pct >= -1e-9 for r in rows)
+    # The DP finds extra donations somewhere in the sweep.
+    assert any(r.joint_extra_benefit_pct > 1.0 for r in rows)
+
+
+def test_ablation_fallback_participation(benchmark, fresh, capsys):
+    rows = run_once(benchmark, ablations.fallback_participation)
+    with capsys.disabled():
+        print("\n" + ablations.fallback_participation_table(rows).render())
+    assert all(r.search_benefit_pct >= -1e-9 for r in rows)
+
+
+def test_ablation_baseline_dataflows(benchmark, fresh, capsys):
+    rows = run_once(benchmark, ablations.baseline_dataflows)
+    with capsys.disabled():
+        print("\n" + ablations.baseline_dataflows_table(rows).render())
+    assert all(min(r.os_cycles, r.ws_cycles, r.is_cycles) > 0 for r in rows)
+
+
+def test_resolution_sweep(benchmark, fresh, capsys):
+    rows = run_once(benchmark, resolution.run)
+    with capsys.disabled():
+        print("\n" + resolution.to_table(rows).render())
+    accesses = [r.accesses_bytes for r in rows]
+    assert accesses == sorted(accesses)
+
+
+def test_pareto_frontier(benchmark, fresh, capsys):
+    spec = AcceleratorSpec(glb_bytes=kib(64))
+    model = get_model("MobileNet")
+    frontier = run_once(benchmark, pareto_frontier, model, spec, 11)
+    with capsys.disabled():
+        print(f"\nPareto frontier ({len(frontier)} points):")
+        for p in frontier:
+            print(
+                f"  alpha={p.alpha:.2f} acc={p.accesses_bytes / 2**20:6.2f}MB "
+                f"lat={p.latency_cycles:10.0f}"
+            )
+    assert len(frontier) >= 3
+
+
+def test_multitenant_scheduling(benchmark, fresh, capsys):
+    spec = AcceleratorSpec(glb_bytes=kib(256))
+    requests = [
+        Request(name, plan_heterogeneous(get_model(name), spec, interlayer=True))
+        for name in ("MnasNet", "MobileNet")
+    ]
+
+    def run_both():
+        return (
+            schedule(requests, Discipline.FCFS),
+            schedule(requests, Discipline.ROUND_ROBIN),
+        )
+
+    fcfs, rr = run_once(benchmark, run_both)
+    with capsys.disabled():
+        print(
+            f"\nfcfs: makespan={fcfs.makespan_cycles:,.0f} "
+            f"traffic={fcfs.total_accesses_bytes / 2**20:.2f}MB | "
+            f"round-robin: makespan={rr.makespan_cycles:,.0f} "
+            f"traffic={rr.total_accesses_bytes / 2**20:.2f}MB "
+            f"(broken donations: {rr.total_broken_donations})"
+        )
+    assert rr.total_broken_donations > 0
+    assert rr.total_accesses_bytes >= fcfs.total_accesses_bytes
+
+
+def test_bounds_optimality_gap(benchmark, fresh, capsys):
+    from repro.experiments import bounds
+
+    rows = run_once(benchmark, bounds.run)
+    with capsys.disabled():
+        print("\n" + bounds.to_table(rows).render())
+    # The extension headline: Het sits essentially on the layer-by-layer
+    # communication lower bound at every configuration.
+    for row in rows:
+        assert row.gap_pct >= -1e-9
+        assert row.gap_pct <= 10.0
+    large = [r for r in rows if r.glb_kb == 1024]
+    assert all(r.gap_pct <= 1.0 for r in large)

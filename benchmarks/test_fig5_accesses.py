@@ -1,0 +1,51 @@
+"""Benchmark regenerating Figure 5: off-chip access volume per scheme.
+
+The full grid (6 models × 5 GLB sizes × 5 schemes) is the paper's main
+result; the assertions encode its headline claims:
+
+* the proposed schemes reduce accesses most at the smallest buffer, with
+  the Het reduction in the paper's band for its extreme models;
+* no single fixed partition is best for every model;
+* Het accesses stay nearly flat across buffer sizes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.experiments import fig5
+
+from conftest import run_once
+
+
+def test_fig5_access_volume_grid(benchmark, fresh, capsys):
+    cells = run_once(benchmark, fig5.run)
+    with capsys.disabled():
+        print("\n" + fig5.to_table(cells).render())
+
+    by = {(c.model, c.glb_kb): c for c in cells}
+
+    # Paper band at 64 kB: Het reduces accesses 43.2% (MobileNetV2) to
+    # 79.8% (ResNet18) vs the baselines.
+    assert 70.0 <= by[("ResNet18", 64)].reduction_vs_best_baseline("het") <= 90.0
+    assert by[("MobileNetV2", 64)].reduction_vs_best_baseline("het") >= 25.0
+
+    # Every model gains at the smallest buffer.
+    for model in {c.model for c in cells}:
+        assert by[(model, 64)].reduction_vs_best_baseline("het") > 25.0
+
+    # No single fixed partition wins everywhere (paper §5.1).
+    best_partitions = Counter(
+        by[(model, 64)].best_baseline for model in {c.model for c in cells}
+    )
+    assert len(best_partitions) > 1
+
+    # Het stays nearly flat across buffer sizes (within 10%).
+    for model in {c.model for c in cells}:
+        small = by[(model, 64)].accesses_mib["het"]
+        large = by[(model, 1024)].accesses_mib["het"]
+        assert small <= 1.10 * large
+
+    # Hom never beats Het.
+    for cell in cells:
+        assert cell.accesses_mib["het"] <= cell.accesses_mib["hom"] + 1e-9

@@ -1,0 +1,55 @@
+"""Micro-benchmarks of the analysis pipeline itself.
+
+The paper reports that generating the management schemes for all models
+takes ~1 minute on a laptop while the SCALE-Sim baseline takes >5 hours
+(§4).  These benchmarks quantify our implementation's per-call costs with
+proper statistical rounds (they are cheap enough to repeat).
+"""
+
+from __future__ import annotations
+
+from repro.analyzer import Objective, plan_heterogeneous
+from repro.arch import AcceleratorSpec, kib
+from repro.estimators import evaluate_layer
+from repro.nn.zoo import get_model
+from repro.scalesim import baseline_config, simulate
+
+SPEC64 = AcceleratorSpec(glb_bytes=kib(64))
+
+
+def test_bench_evaluate_single_layer(benchmark):
+    layer = get_model("ResNet18")[5]
+    result = benchmark(evaluate_layer, layer, SPEC64)
+    assert result
+
+
+def test_bench_het_plan_resnet18(benchmark):
+    model = get_model("ResNet18")
+    plan = benchmark(plan_heterogeneous, model, SPEC64)
+    assert len(plan.assignments) == 21
+
+
+def test_bench_het_plan_efficientnet(benchmark):
+    model = get_model("EfficientNetB0")
+    plan = benchmark(plan_heterogeneous, model, SPEC64)
+    assert len(plan.assignments) == 82
+
+
+def test_bench_het_plan_with_interlayer_dp(benchmark):
+    model = get_model("MnasNet")
+    plan = benchmark(
+        plan_heterogeneous,
+        model,
+        SPEC64,
+        Objective.ACCESSES,
+        interlayer=True,
+        interlayer_mode="joint",
+    )
+    assert len(plan.assignments) == 53
+
+
+def test_bench_baseline_simulation(benchmark):
+    model = get_model("ResNet18")
+    config = baseline_config(kib(64), 0.5)
+    result = benchmark(simulate, model, config)
+    assert result.total_cycles > 0

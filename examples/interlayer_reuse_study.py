@@ -1,0 +1,53 @@
+"""Inter-layer reuse study (paper §5.4) with the joint-DP extension.
+
+The paper enables inter-layer reuse opportunistically on top of the
+per-layer policy choice.  Our library additionally implements a joint
+dynamic program that co-selects policies *and* donation edges.  This
+example sweeps both modes over the GLB sizes and shows where the joint
+optimization finds donations the opportunistic pass cannot.
+
+Run:  python examples/interlayer_reuse_study.py [model]
+"""
+
+import sys
+
+from repro import AcceleratorSpec, plan_heterogeneous
+from repro.arch import PAPER_GLB_SIZES, to_mib
+from repro.nn.zoo import get_model
+
+
+def main(model_name: str = "MnasNet") -> None:
+    model = get_model(model_name)
+    print(f"{model.name}: inter-layer reuse (het scheme, accesses objective)\n")
+    header = (
+        f"{'GLB':>7} | {'off (MB)':>9} | {'opportunistic':>22} | {'joint DP':>22}"
+    )
+    print(header)
+    print("-" * len(header))
+    for glb in PAPER_GLB_SIZES:
+        spec = AcceleratorSpec(glb_bytes=glb)
+        base = plan_heterogeneous(model, spec)
+        opp = plan_heterogeneous(model, spec, interlayer=True)
+        joint = plan_heterogeneous(
+            model, spec, interlayer=True, interlayer_mode="joint"
+        )
+
+        def cell(plan):
+            saving = 100 * (1 - plan.total_accesses_bytes / base.total_accesses_bytes)
+            return (
+                f"{to_mib(plan.total_accesses_bytes):6.2f}MB "
+                f"(-{saving:4.1f}%, cov {plan.interlayer_coverage:4.0%})"
+            )
+
+        print(
+            f"{glb // 1024:5d}kB | {to_mib(base.total_accesses_bytes):7.2f} | "
+            f"{cell(opp)} | {cell(joint)}"
+        )
+    print(
+        "\n(paper Fig. 11 for MnasNet: coverage 0% -> 98% from 64 kB to 1 MB, "
+        "70% access benefit at 1 MB)"
+    )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

@@ -1,0 +1,57 @@
+"""Map the accesses-vs-latency Pareto frontier (extension).
+
+The paper optimizes accesses *or* latency and shows the extremes trade
+off (Fig. 9).  Our weighted planner sweeps the space between them,
+exposing intermediate schemes — often one captures most of the latency
+benefit for a fraction of the access penalty.
+
+Run:  python examples/pareto_frontier.py [model] [glb_kb]
+"""
+
+import sys
+
+from repro.analyzer import pareto_frontier
+from repro.arch import AcceleratorSpec, kib, to_mib
+from repro.nn.zoo import get_model
+from repro.report import sparkline
+
+
+def main(model_name: str = "MobileNet", glb_kb: str = "64") -> None:
+    model = get_model(model_name)
+    spec = AcceleratorSpec(glb_bytes=kib(int(glb_kb)))
+    frontier = pareto_frontier(model, spec, num_points=21)
+
+    print(f"{model.name} @ {glb_kb} kB: accesses-vs-latency frontier "
+          f"({len(frontier)} non-dominated plans)\n")
+    print(f"{'alpha':>6} | {'accesses':>10} | {'latency':>12} | policies")
+    print("-" * 72)
+    base_acc = frontier[0].accesses_bytes
+    base_lat = frontier[-1].latency_cycles
+    for p in frontier:
+        acc_pen = 100 * (p.accesses_bytes / base_acc - 1)
+        lat_pen = 100 * (p.latency_cycles / base_lat - 1)
+        fams = ",".join(p.plan.policy_families_used)
+        print(
+            f"{p.alpha:6.2f} | {to_mib(p.accesses_bytes):8.2f}MB "
+            f"(+{acc_pen:4.1f}%) | {p.latency_cycles:10.0f}c "
+            f"(+{lat_pen:4.1f}%) | {fams}"
+        )
+
+    print("\nlatency trend along the frontier: "
+          + sparkline([p.latency_cycles for p in frontier]))
+    print("accesses trend along the frontier: "
+          + sparkline([p.accesses_bytes for p in frontier]))
+
+    # The knee: the point minimizing the product of normalized penalties.
+    knee = min(
+        frontier,
+        key=lambda p: (p.accesses_bytes / base_acc) * (p.latency_cycles / base_lat),
+    )
+    print(
+        f"\nknee point: alpha={knee.alpha:.2f} — "
+        f"{to_mib(knee.accesses_bytes):.2f} MB, {knee.latency_cycles:,.0f} cycles"
+    )
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

@@ -1,0 +1,56 @@
+"""Reproduction of "Scratchpad Memory Management for Deep Learning
+Accelerators" (Zouzoula et al., ICPP 2024).
+
+Public API tour
+---------------
+* :mod:`repro.arch` — accelerator specification (:class:`AcceleratorSpec`).
+* :mod:`repro.nn` — layer/model descriptions, builder DSL and the model zoo
+  (:func:`repro.nn.zoo.get_model`).
+* :mod:`repro.policies` — the scratchpad management policies (§3.2).
+* :mod:`repro.estimators` — per-layer memory/accesses/latency estimates.
+* :mod:`repro.analyzer` — Algorithm 1, Hom/Het planners, inter-layer reuse.
+* :mod:`repro.scalesim` — the separate-buffer baseline simulator.
+* :mod:`repro.sim` — step-level simulator validating the estimators.
+* :mod:`repro.experiments` — regeneration of every paper table and figure.
+
+Quickstart::
+
+    from repro import AcceleratorSpec, Objective, plan_heterogeneous
+    from repro.nn.zoo import get_model
+
+    plan = plan_heterogeneous(
+        get_model("ResNet18"), AcceleratorSpec(glb_bytes=64 * 1024),
+        Objective.ACCESSES,
+    )
+    print(plan.total_accesses_bytes / 2**20, "MB off-chip")
+"""
+
+from .analyzer import (
+    ExecutionPlan,
+    Objective,
+    best_homogeneous,
+    plan_heterogeneous,
+    plan_homogeneous,
+)
+from .arch import PAPER_GLB_SIZES, AcceleratorSpec
+from .estimators import PolicyEvaluation, evaluate_layer
+from .nn import LayerKind, LayerSpec, Model, ModelBuilder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcceleratorSpec",
+    "PAPER_GLB_SIZES",
+    "Objective",
+    "ExecutionPlan",
+    "plan_heterogeneous",
+    "plan_homogeneous",
+    "best_homogeneous",
+    "PolicyEvaluation",
+    "evaluate_layer",
+    "LayerKind",
+    "LayerSpec",
+    "Model",
+    "ModelBuilder",
+    "__version__",
+]

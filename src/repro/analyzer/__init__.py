@@ -1,0 +1,46 @@
+"""Memory-management analyzer: Algorithm 1, plans and inter-layer reuse."""
+
+from .algorithm1 import select_policy
+from .batch import BatchedPlan, batch_sweep, plan_batched
+from .export import load_plan_dict, plan_to_dict, save_plan
+from .interlayer import apply_opportunistic_interlayer, plan_chain_with_interlayer
+from .objectives import Objective
+from .pareto import ParetoPoint, pareto_frontier, plan_weighted
+from .plan import (
+    ExecutionPlan,
+    LayerAssignment,
+    make_assignment,
+    required_memory_elems,
+    transformed_schedule,
+)
+from .planner import (
+    best_homogeneous,
+    candidate_evaluations,
+    plan_heterogeneous,
+    plan_homogeneous,
+)
+
+__all__ = [
+    "Objective",
+    "select_policy",
+    "ExecutionPlan",
+    "LayerAssignment",
+    "make_assignment",
+    "required_memory_elems",
+    "transformed_schedule",
+    "plan_heterogeneous",
+    "plan_homogeneous",
+    "best_homogeneous",
+    "candidate_evaluations",
+    "plan_chain_with_interlayer",
+    "apply_opportunistic_interlayer",
+    "plan_to_dict",
+    "save_plan",
+    "load_plan_dict",
+    "ParetoPoint",
+    "pareto_frontier",
+    "plan_weighted",
+    "BatchedPlan",
+    "plan_batched",
+    "batch_sweep",
+]

@@ -1,0 +1,31 @@
+"""Algorithm 1: pick the best policy per layer for a given objective.
+
+The paper's Algorithm 1 iterates policies per layer, keeps those whose
+memory estimate fits the GLB, and selects the one with minimum accesses,
+tie-broken on latency.  The latency-objective variant (used for ``Hom_l`` /
+``Het_l`` in §5.2) swaps the comparison order.  Both are expressed by the
+lexicographic :meth:`~repro.analyzer.objectives.Objective.key`.
+"""
+
+from __future__ import annotations
+
+from ..estimators.evaluate import PolicyEvaluation
+from .objectives import Objective
+
+
+def select_policy(
+    evaluations: list[PolicyEvaluation], objective: Objective
+) -> PolicyEvaluation:
+    """Algorithm 1 lines 6–19 for one layer.
+
+    ``evaluations`` must contain only feasible candidates (the memory check
+    of line 10 happens during evaluation).  Raises if the layer has no
+    feasible policy at all — Algorithm 1's fallback tile search should have
+    produced one before this point.
+    """
+    if not evaluations:
+        raise ValueError("no feasible policy for layer; tile search failed")
+    return min(
+        evaluations,
+        key=lambda ev: objective.key(ev.accesses_bytes, ev.latency_cycles),
+    )

@@ -1,0 +1,86 @@
+"""Execution-plan export: the schedule a compiler backend would consume.
+
+The paper's future work integrates the policies into a DL compiler (TVM).
+This module defines the hand-off format: a JSON document with one record
+per layer carrying the chosen policy, its tile sizes, prefetch/donation
+flags and the expected metrics, plus plan-level totals.  Round-tripping is
+lossless for everything a code generator needs (the analyzer internals —
+schedules, candidate sets — are intentionally not serialized).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..arch.spec import AcceleratorSpec
+from .plan import ExecutionPlan
+
+EXPORT_SCHEMA = 1
+
+
+def assignment_to_dict(assignment, spec: AcceleratorSpec) -> dict[str, Any]:
+    """Serialize one layer assignment."""
+    plan = assignment.evaluation.plan
+    b = spec.bytes_per_elem
+    return {
+        "layer": assignment.layer.name,
+        "policy": assignment.policy_name,
+        "prefetch": assignment.prefetch,
+        "block_size": plan.block_size,
+        "tiles_bytes": {
+            "ifmap": plan.tiles.ifmap * b,
+            "filters": plan.tiles.filters * b,
+            "ofmap": plan.tiles.ofmap * b,
+        },
+        "memory_bytes": assignment.memory_bytes,
+        "receives_ifmap_on_chip": assignment.receives,
+        "donates_ofmap_on_chip": assignment.donates,
+        "expected": {
+            "accesses_bytes": assignment.accesses_bytes,
+            "read_bytes": assignment.read_bytes,
+            "write_bytes": assignment.write_bytes,
+            "latency_cycles": assignment.latency_cycles,
+        },
+    }
+
+
+def plan_to_dict(plan: ExecutionPlan) -> dict[str, Any]:
+    """Serialize a full execution plan."""
+    spec = plan.spec
+    return {
+        "schema": EXPORT_SCHEMA,
+        "model": plan.model.name,
+        "scheme": plan.scheme,
+        "objective": plan.objective.value,
+        "accelerator": {
+            "pe_rows": spec.pe_rows,
+            "pe_cols": spec.pe_cols,
+            "ops_per_cycle": spec.ops_per_cycle,
+            "data_width_bits": spec.data_width_bits,
+            "glb_bytes": spec.glb_bytes,
+            "dram_bandwidth_elems_per_cycle": spec.dram_bandwidth_elems_per_cycle,
+        },
+        "totals": {
+            "accesses_bytes": plan.total_accesses_bytes,
+            "latency_cycles": plan.total_latency_cycles,
+            "prefetch_coverage": plan.prefetch_coverage,
+            "interlayer_coverage": plan.interlayer_coverage,
+            "max_memory_bytes": plan.max_memory_bytes,
+        },
+        "layers": [assignment_to_dict(a, spec) for a in plan.assignments],
+    }
+
+
+def save_plan(plan: ExecutionPlan, path: str | Path) -> None:
+    """Write the plan export to a JSON file."""
+    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2))
+
+
+def load_plan_dict(path: str | Path) -> dict[str, Any]:
+    """Read a previously exported plan (as a dict; schema-checked)."""
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != EXPORT_SCHEMA:
+        raise ValueError(f"unsupported plan schema {data.get('schema')}")
+    return data

@@ -1,0 +1,23 @@
+"""Optimization objectives (paper §3.1).
+
+Objective 1 minimizes off-chip data transfers under the GLB constraint;
+Objective 2 minimizes latency.  Algorithm 1 breaks ties on the secondary
+metric (lines 13–15), which both keys encode lexicographically.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Objective(enum.Enum):
+    """What the analyzer optimizes for each layer."""
+
+    ACCESSES = "accesses"
+    LATENCY = "latency"
+
+    def key(self, accesses_bytes: float, latency_cycles: float) -> tuple[float, float]:
+        """Lexicographic comparison key: primary metric, then tiebreak."""
+        if self is Objective.ACCESSES:
+            return (accesses_bytes, latency_cycles)
+        return (latency_cycles, accesses_bytes)

@@ -1,0 +1,156 @@
+"""Plan construction: homogeneous and heterogeneous management schemes.
+
+The paper compares (§5.1):
+
+* ``Hom`` — the *homogeneous* scheme: every layer runs the same policy
+  family (falling back to the tile search only when that family cannot fit
+  a layer at all), with the family chosen to minimize the objective;
+* ``Het`` — the *heterogeneous* scheme: Algorithm 1 picks the best policy
+  per layer.
+
+Prefetch variants: within a scheme each layer may use the policy with or
+without prefetching (Table 4 writes "policy 1 (+p)" when both occur);
+``allow_prefetch=False`` reproduces the prefetch-disabled reference of
+Fig. 10.  ``interlayer=True`` enables the §5.4 chain DP.
+"""
+
+from __future__ import annotations
+
+from ..arch.spec import AcceleratorSpec
+from ..estimators.evaluate import PolicyEvaluation, evaluate_layer
+from ..nn.model import Model
+from ..policies.base import Policy
+from ..policies.registry import NAMED_POLICIES
+from .algorithm1 import select_policy
+from .interlayer import apply_opportunistic_interlayer, plan_chain_with_interlayer
+from .objectives import Objective
+from .plan import ExecutionPlan, make_assignment
+
+
+def candidate_evaluations(
+    model: Model,
+    spec: AcceleratorSpec,
+    policies: tuple[Policy, ...] = NAMED_POLICIES,
+    allow_prefetch: bool = True,
+    always_fallback: bool = True,
+) -> list[list[PolicyEvaluation]]:
+    """Feasible policy evaluations for every layer of the model."""
+    return [
+        evaluate_layer(
+            layer,
+            spec,
+            policies=policies,
+            allow_prefetch=allow_prefetch,
+            always_fallback=always_fallback,
+        )
+        for layer in model.layers
+    ]
+
+
+def plan_heterogeneous(
+    model: Model,
+    spec: AcceleratorSpec,
+    objective: Objective = Objective.ACCESSES,
+    *,
+    allow_prefetch: bool = True,
+    interlayer: bool = False,
+    interlayer_mode: str = "opportunistic",
+) -> ExecutionPlan:
+    """The ``Het`` scheme: best policy per layer (Algorithm 1).
+
+    ``interlayer=True`` enables §5.4 ofmap donation between consecutive
+    layers.  ``interlayer_mode`` selects the paper-faithful
+    ``"opportunistic"`` pass (policies first, donations where they fit) or
+    our ``"joint"`` DP extension that co-optimizes both decisions.
+    """
+    candidates = candidate_evaluations(model, spec, allow_prefetch=allow_prefetch)
+    empty = [model.layers[i].name for i, c in enumerate(candidates) if not c]
+    if empty:
+        raise ValueError(
+            f"{model.name}: no feasible policy for layers {empty} at "
+            f"GLB={spec.glb_bytes} bytes"
+        )
+    assignments = [
+        make_assignment(i, select_policy(evs, objective), spec)
+        for i, evs in enumerate(candidates)
+    ]
+    scheme = "het"
+    if interlayer:
+        if interlayer_mode == "opportunistic":
+            assignments = apply_opportunistic_interlayer(model, spec, assignments)
+            scheme = "het+il"
+        elif interlayer_mode == "joint":
+            assignments = plan_chain_with_interlayer(model, spec, objective, candidates)
+            scheme = "het+il(joint)"
+        else:
+            raise ValueError(f"unknown interlayer_mode {interlayer_mode!r}")
+    return ExecutionPlan(
+        model=model,
+        spec=spec,
+        objective=objective,
+        scheme=scheme,
+        assignments=tuple(assignments),
+    )
+
+
+def plan_homogeneous(
+    model: Model,
+    spec: AcceleratorSpec,
+    family: str,
+    objective: Objective = Objective.ACCESSES,
+    *,
+    allow_prefetch: bool = True,
+) -> ExecutionPlan | None:
+    """The homogeneous scheme for one policy family (e.g. ``"p1"``).
+
+    Layers the family cannot fit fall back to the tile search, as
+    Algorithm 1 prescribes for infeasible layers.  Returns ``None`` when
+    even the fallback fails somewhere (practically: never for paper-sized
+    buffers).
+    """
+    family_policies = tuple(p for p in NAMED_POLICIES if p.name == family)
+    if not family_policies:
+        raise KeyError(f"unknown policy family {family!r}")
+    assignments = []
+    for i, layer in enumerate(model.layers):
+        evs = evaluate_layer(
+            layer,
+            spec,
+            policies=family_policies,
+            use_fallback=True,
+            allow_prefetch=allow_prefetch,
+        )
+        if not evs:
+            return None
+        assignments.append(make_assignment(i, select_policy(evs, objective), spec))
+    return ExecutionPlan(
+        model=model,
+        spec=spec,
+        objective=objective,
+        scheme=f"hom({family})",
+        assignments=tuple(assignments),
+    )
+
+
+def best_homogeneous(
+    model: Model,
+    spec: AcceleratorSpec,
+    objective: Objective = Objective.ACCESSES,
+    *,
+    allow_prefetch: bool = True,
+) -> ExecutionPlan:
+    """The ``Hom`` scheme: the best single-policy plan for the objective."""
+    best: ExecutionPlan | None = None
+    best_key: tuple[float, float] | None = None
+    for policy in NAMED_POLICIES:
+        plan = plan_homogeneous(
+            model, spec, policy.name, objective, allow_prefetch=allow_prefetch
+        )
+        if plan is None:
+            continue
+        key = objective.key(plan.total_accesses_bytes, plan.total_latency_cycles)
+        if best_key is None or key < best_key:
+            best, best_key = plan, key
+    if best is None:
+        raise ValueError(f"{model.name}: no homogeneous scheme is feasible")
+    return best

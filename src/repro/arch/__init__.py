@@ -1,0 +1,25 @@
+"""Accelerator architecture description and unit helpers."""
+
+from .spec import (
+    DEFAULT_SPEC,
+    PAPER_DATA_WIDTHS,
+    PAPER_GLB_SIZES,
+    AcceleratorSpec,
+)
+from .units import KIB, MIB, ceil_div, kib, mib, pct_change, reduction_pct, to_kib, to_mib
+
+__all__ = [
+    "AcceleratorSpec",
+    "DEFAULT_SPEC",
+    "PAPER_GLB_SIZES",
+    "PAPER_DATA_WIDTHS",
+    "KIB",
+    "MIB",
+    "kib",
+    "mib",
+    "to_kib",
+    "to_mib",
+    "ceil_div",
+    "pct_change",
+    "reduction_pct",
+]

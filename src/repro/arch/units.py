@@ -1,0 +1,57 @@
+"""Unit helpers shared across the library.
+
+The paper mixes units freely (elements, bytes, kB, MB, cycles).  Everything
+inside the library is stored in *base units* — bytes for memory and traffic,
+cycles for time — and converted only at reporting boundaries.  These helpers
+make the conversions explicit so call sites never multiply magic constants.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def kib(n: float) -> int:
+    """Convert kibibytes to bytes (the paper's "kB" is 1024 bytes)."""
+    return int(n * KIB)
+
+
+def mib(n: float) -> int:
+    """Convert mebibytes to bytes."""
+    return int(n * MIB)
+
+
+def to_kib(nbytes: float) -> float:
+    """Convert bytes to kibibytes."""
+    return nbytes / KIB
+
+
+def to_mib(nbytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return nbytes / MIB
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"ceil_div dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+def pct_change(new: float, old: float) -> float:
+    """Relative change of ``new`` vs ``old`` in percent (negative = reduction).
+
+    Used for the paper's "benefit" plots (Figs. 7, 9, 10, 11) where benefit is
+    quoted as a percentage reduction relative to a reference configuration.
+    """
+    if old == 0:
+        return 0.0 if new == 0 else float("inf")
+    return (new - old) / old * 100.0
+
+
+def reduction_pct(new: float, old: float) -> float:
+    """Percentage reduction of ``new`` relative to ``old`` (positive = better)."""
+    return -pct_change(new, old)

@@ -1,0 +1,413 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro models                         # list the zoo
+    python -m repro inspect ResNet18               # per-layer shapes/footprints
+    python -m repro plan ResNet18 --glb 64         # Het plan + summary
+    python -m repro plan model.json --objective latency --export plan.json
+    python -m repro baseline ResNet18 --glb 64     # the three sa_* baselines
+    python -m repro compare ResNet18 --glb 64      # plan vs baselines
+    python -m repro sweep ResNet18 --glb 64,128,256,512,1024
+    python -m repro experiments fig5 table3        # regenerate paper artifacts
+
+Model arguments accept either a zoo name or a path to a JSON model
+description (the Fig. 4 input format, see ``repro.nn.io``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analyzer import Objective, save_plan
+from .arch.spec import PAPER_GLB_SIZES, AcceleratorSpec
+from .arch.units import kib, to_kib, to_mib
+from .energy import plan_energy
+from .manager import MemoryManager
+from .nn.io import load_model
+from .nn.model import Model
+from .nn.stats import layer_breakdown
+from .nn.zoo import PAPER_MODEL_NAMES, get_model
+from .report.table import Table
+
+
+def _resolve_model(name_or_path: str) -> Model:
+    """Load a model by zoo name or JSON file path."""
+    if name_or_path in PAPER_MODEL_NAMES:
+        return get_model(name_or_path)
+    path = Path(name_or_path)
+    if path.exists():
+        return load_model(path)
+    raise SystemExit(
+        f"error: {name_or_path!r} is neither a zoo model "
+        f"({', '.join(PAPER_MODEL_NAMES)}) nor an existing file"
+    )
+
+
+def _spec_from_args(args: argparse.Namespace) -> AcceleratorSpec:
+    return AcceleratorSpec(
+        glb_bytes=kib(args.glb),
+        data_width_bits=args.width,
+        ops_per_cycle=args.ops,
+        dram_bandwidth_elems_per_cycle=args.bandwidth,
+    )
+
+
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--glb", type=int, default=64, help="GLB size in kB (default 64)")
+    parser.add_argument("--width", type=int, default=8, help="data width in bits")
+    parser.add_argument("--ops", type=int, default=512, help="operations per cycle")
+    parser.add_argument(
+        "--bandwidth", type=float, default=16.0, help="DRAM elements per cycle"
+    )
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List the model zoo with parameter/MAC totals."""
+    table = Table(title="Model zoo (Table 2)", headers=["Name", "Layers", "GMACs", "Weights (M)"])
+    for name in PAPER_MODEL_NAMES:
+        model = get_model(name)
+        table.add_row(
+            name,
+            model.num_layers,
+            round(model.total_macs / 1e9, 2),
+            round(model.total_weight_elems / 1e6, 2),
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    """Per-layer shapes and memory footprints of a model."""
+    model = _resolve_model(args.model)
+    spec = _spec_from_args(args)
+    table = Table(
+        title=f"{model.name}: {model.num_layers} layers",
+        headers=["Layer", "Kind", "Input", "Output", "ifmap kB", "filter kB", "ofmap kB"],
+    )
+    for layer in model.layers:
+        b = layer_breakdown(layer, spec)
+        table.add_row(
+            layer.name,
+            layer.kind.value,
+            f"{layer.in_h}x{layer.in_w}x{layer.in_c}",
+            f"{layer.out_h}x{layer.out_w}x{layer.out_c}",
+            round(to_kib(b.ifmap_bytes), 1),
+            round(to_kib(b.filter_bytes), 1),
+            round(to_kib(b.ofmap_bytes), 1),
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Produce, summarize and optionally export an execution plan."""
+    model = _resolve_model(args.model)
+    spec = _spec_from_args(args)
+    manager = MemoryManager(spec)
+    plan = manager.plan(
+        model,
+        Objective(args.objective),
+        scheme=args.scheme,
+        interlayer=args.interlayer,
+    )
+    table = Table(
+        title=f"{model.name} @ {args.glb} kB — {plan.scheme}, objective={args.objective}",
+        headers=["Layer", "Policy", "Mem kB", "Accesses kB", "Latency (cyc)", "IL"],
+    )
+    for a in plan:
+        flags = ("r" if a.receives else "") + ("d" if a.donates else "")
+        table.add_row(
+            a.layer.name,
+            a.label,
+            round(a.memory_bytes / 1024, 1),
+            round(a.accesses_bytes / 1024, 1),
+            int(a.latency_cycles),
+            flags or "-",
+        )
+    print(table.render())
+    energy = plan_energy(plan)
+    print(
+        f"\ntotals: {to_mib(plan.total_accesses_bytes):.2f} MB off-chip, "
+        f"{plan.total_latency_cycles:,.0f} cycles, "
+        f"{energy.total_uj:.1f} µJ ({energy.dram_share:.0%} DRAM), "
+        f"prefetch coverage {plan.prefetch_coverage:.0%}"
+    )
+    if args.export:
+        save_plan(plan, args.export)
+        print(f"plan exported to {args.export}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Show every feasible policy for one layer (Algorithm 1's raw input)."""
+    model = _resolve_model(args.model)
+    layer = model.find(args.layer)
+    spec = _spec_from_args(args)
+    from .estimators import evaluate_layer
+
+    evaluations = evaluate_layer(layer, spec, always_fallback=True)
+    table = Table(
+        title=f"{model.name}/{layer.name} @ {args.glb} kB: policy candidates",
+        headers=["Policy", "n", "Mem kB", "Accesses kB", "Latency (cyc)", "DMA", "Compute"],
+    )
+    for ev in sorted(evaluations, key=lambda e: e.accesses_bytes):
+        table.add_row(
+            ev.label,
+            ev.plan.block_size if ev.plan.block_size is not None else "-",
+            round(ev.memory_bytes / 1024, 1),
+            round(ev.accesses_bytes / 1024, 1),
+            int(ev.latency_cycles),
+            int(ev.latency.dma_cycles),
+            int(ev.latency.compute_cycles),
+        )
+    print(table.render())
+    if not evaluations:
+        print("no feasible policy — even the tile search cannot fit this GLB")
+    return 0
+
+
+def cmd_baseline(args: argparse.Namespace) -> int:
+    """Simulate the three fixed-partition baselines."""
+    from .scalesim import baseline_configs, simulate
+
+    model = _resolve_model(args.model)
+    table = Table(
+        title=f"{model.name}: SCALE-Sim-style baselines @ {args.glb} kB",
+        headers=["Partition", "DRAM MB", "Cycles", "Mean PE util"],
+    )
+    for label, config in baseline_configs(kib(args.glb), data_width_bits=args.width).items():
+        result = simulate(model, config)
+        table.add_row(
+            label,
+            round(to_mib(result.total_traffic_bytes), 2),
+            result.total_cycles,
+            f"{result.mean_utilization:.0%}",
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Plan the model and compare against the baselines."""
+    model = _resolve_model(args.model)
+    manager = MemoryManager(_spec_from_args(args))
+    comparison = manager.compare_with_baseline(model, Objective(args.objective))
+    table = Table(
+        title=f"{model.name} @ {args.glb} kB: proposed vs baselines",
+        headers=["Scheme", "DRAM MB"],
+    )
+    for label, result in comparison.baselines.items():
+        table.add_row(label, round(to_mib(result.total_traffic_bytes), 2))
+    table.add_row(
+        f"Het ({args.objective})",
+        round(to_mib(comparison.plan.total_accesses_bytes), 2),
+    )
+    print(table.render())
+    print(
+        f"\naccess reduction vs best baseline: {comparison.accesses_reduction_pct:.1f}%"
+        f"\nlatency reduction vs zero-stall baseline: "
+        f"{comparison.latency_reduction_pct:.1f}%"
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Sweep the GLB capacity and report the trend."""
+    from .experiments.sweep import glb_sweep, sweep_table
+
+    model = _resolve_model(args.model)
+    sizes = (
+        [kib(int(s)) for s in args.glb_list.split(",")]
+        if args.glb_list
+        else list(PAPER_GLB_SIZES)
+    )
+    points = glb_sweep(model, sizes, Objective(args.objective))
+    print(
+        sweep_table(
+            f"{model.name}: GLB sweep (objective={args.objective})",
+            "GLB bytes",
+            points,
+        ).render()
+    )
+    return 0
+
+
+def cmd_layout(args: argparse.Namespace) -> int:
+    """Print the GLB address map of a plan."""
+    from .sim.glb import layout_plan
+
+    model = _resolve_model(args.model)
+    manager = MemoryManager(_spec_from_args(args))
+    plan = manager.plan(model, Objective(args.objective), interlayer=args.interlayer)
+    table = Table(
+        title=f"{model.name} @ {args.glb} kB: GLB address map",
+        headers=["Layer", "Policy", "Region", "Offset", "End", "kB"],
+    )
+    for layout in layout_plan(plan):
+        for region in sorted(layout.regions, key=lambda r: r.offset):
+            table.add_row(
+                layout.layer_name,
+                layout.policy,
+                region.name,
+                region.offset,
+                region.end,
+                round(region.size / 1024, 2),
+            )
+    print(table.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Emit the baseline's DRAM address trace for one layer."""
+    from .scalesim import baseline_config, lower_layer
+    from .scalesim.trace import generate_dram_trace, trace_to_csv
+
+    model = _resolve_model(args.model)
+    layer = model.find(args.layer)
+    workload = lower_layer(layer)
+    config = baseline_config(kib(args.glb), 0.5, data_width_bits=args.width)
+    records = generate_dram_trace(workload, config, max_records=args.max_records)
+    count = trace_to_csv(records, args.out)
+    print(f"{count:,} DRAM transactions for {model.name}/{layer.name} "
+          f"written to {args.out}")
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    """Compare a plan against the communication lower bound."""
+    from .estimators import model_bound, optimality_gap
+
+    model = _resolve_model(args.model)
+    spec = _spec_from_args(args)
+    manager = MemoryManager(spec)
+    plan = manager.plan(model, Objective(args.objective))
+    gap = optimality_gap(plan)
+    print(
+        f"{model.name} @ {args.glb} kB: Het moves "
+        f"{to_mib(plan.total_accesses_bytes):.2f} MB; lower bound "
+        f"{to_mib(model_bound(model, spec)):.2f} MB "
+        f"(gap {gap.gap_pct:+.1f}%)"
+    )
+    return 0
+
+
+def cmd_pareto(args: argparse.Namespace) -> int:
+    """Print the accesses-vs-latency Pareto frontier."""
+    from .analyzer import pareto_frontier
+
+    model = _resolve_model(args.model)
+    frontier = pareto_frontier(model, _spec_from_args(args), args.points)
+    table = Table(
+        title=f"{model.name} @ {args.glb} kB: Pareto frontier",
+        headers=["alpha", "Accesses MB", "Latency (cyc)"],
+    )
+    for p in frontier:
+        table.add_row(
+            round(p.alpha, 2),
+            round(to_mib(p.accesses_bytes), 2),
+            int(p.latency_cycles),
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    """Forward to the experiments runner."""
+    from .experiments.runner import main as experiments_main
+
+    forwarded = list(args.artifacts)
+    if args.csv:
+        forwarded = ["--csv", args.csv, *forwarded]
+    return experiments_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(func=cmd_models)
+
+    p = sub.add_parser("inspect", help="per-layer shapes and footprints")
+    p.add_argument("model")
+    _add_spec_args(p)
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("plan", help="produce an execution plan")
+    p.add_argument("model")
+    _add_spec_args(p)
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.add_argument("--scheme", default="het", help='het, hom or "hom(<family>)"')
+    p.add_argument("--interlayer", action="store_true", help="enable inter-layer reuse")
+    p.add_argument("--export", metavar="FILE", help="write the plan JSON here")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("evaluate", help="all policy candidates for one layer")
+    p.add_argument("model")
+    p.add_argument("layer", help="layer name (see `inspect`)")
+    _add_spec_args(p)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("baseline", help="simulate the separate-buffer baselines")
+    p.add_argument("model")
+    _add_spec_args(p)
+    p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser("compare", help="plan vs the three baselines")
+    p.add_argument("model")
+    _add_spec_args(p)
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="GLB design-space sweep")
+    p.add_argument("model")
+    p.add_argument("--glb-list", metavar="KB,KB,...", help="sizes in kB")
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("layout", help="GLB address map of a plan")
+    p.add_argument("model")
+    _add_spec_args(p)
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.add_argument("--interlayer", action="store_true")
+    p.set_defaults(func=cmd_layout)
+
+    p = sub.add_parser("trace", help="baseline DRAM address trace for a layer")
+    p.add_argument("model")
+    p.add_argument("layer")
+    p.add_argument("out", help="output CSV path")
+    _add_spec_args(p)
+    p.add_argument("--max-records", type=int, default=2_000_000)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("bounds", help="plan vs communication lower bound")
+    p.add_argument("model")
+    _add_spec_args(p)
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.set_defaults(func=cmd_bounds)
+
+    p = sub.add_parser("pareto", help="accesses-vs-latency frontier")
+    p.add_argument("model")
+    _add_spec_args(p)
+    p.add_argument("--points", type=int, default=11)
+    p.set_defaults(func=cmd_pareto)
+
+    p = sub.add_parser("experiments", help="regenerate paper artifacts")
+    p.add_argument("artifacts", nargs="*")
+    p.add_argument("--csv", metavar="DIR")
+    p.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Energy cost modeling (extension; the paper reports accesses only)."""
+
+from .model import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyBreakdown,
+    EnergyModel,
+    baseline_energy,
+    plan_energy,
+)
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "DEFAULT_ENERGY_MODEL",
+    "plan_energy",
+    "baseline_energy",
+]

@@ -1,0 +1,34 @@
+"""Lightweight per-layer estimation models (paper §3.3, Algorithm 1 l.7–9)."""
+
+from .evaluate import (
+    PolicyEvaluation,
+    estimate_accesses,
+    estimate_latency,
+    estimate_memory,
+    evaluate_layer,
+)
+from .bounds import (
+    OptimalityGap,
+    TrafficBound,
+    layer_bound,
+    model_bound,
+    model_bound_interlayer,
+    optimality_gap,
+)
+from .latency import LatencyBreakdown, schedule_latency
+
+__all__ = [
+    "PolicyEvaluation",
+    "evaluate_layer",
+    "estimate_memory",
+    "estimate_accesses",
+    "estimate_latency",
+    "LatencyBreakdown",
+    "schedule_latency",
+    "TrafficBound",
+    "OptimalityGap",
+    "layer_bound",
+    "model_bound",
+    "model_bound_interlayer",
+    "optimality_gap",
+]

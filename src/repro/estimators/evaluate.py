@@ -1,0 +1,108 @@
+"""Per-layer, per-policy evaluation: Algorithm 1 lines 7–9.
+
+``evaluate_layer`` instantiates every policy (with and without prefetching)
+on one layer and returns the feasible candidates with their estimated
+memory, off-chip accesses and latency — exactly the quantities Algorithm 1
+compares.  The tile-search fallback is consulted only when no named policy
+fits, mirroring paper §3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.spec import AcceleratorSpec
+from ..nn.layer import LayerSpec
+from ..policies.base import CandidatePlan, Policy
+from ..policies.registry import FALLBACK_POLICY, NAMED_POLICIES
+from .latency import LatencyBreakdown, schedule_latency
+
+
+@dataclass(frozen=True)
+class PolicyEvaluation:
+    """One feasible (layer, policy, prefetch) instantiation with estimates."""
+
+    plan: CandidatePlan
+    memory_bytes: int
+    accesses_bytes: int
+    read_bytes: int
+    write_bytes: int
+    latency: LatencyBreakdown
+
+    @property
+    def label(self) -> str:
+        return self.plan.label
+
+    @property
+    def policy_name(self) -> str:
+        return self.plan.policy_name
+
+    @property
+    def prefetch(self) -> bool:
+        return self.plan.prefetch
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.latency.total_cycles
+
+
+def estimate_memory(plan: CandidatePlan, spec: AcceleratorSpec) -> int:
+    """GLB bytes the plan needs (Eq. (1), doubled per Eq. (2) for +p)."""
+    return plan.memory_elems * spec.bytes_per_elem
+
+
+def estimate_accesses(plan: CandidatePlan, spec: AcceleratorSpec) -> int:
+    """Total off-chip traffic of the plan in bytes."""
+    return plan.traffic.total * spec.bytes_per_elem
+
+
+def estimate_latency(plan: CandidatePlan, spec: AcceleratorSpec) -> LatencyBreakdown:
+    """Latency of the plan under the two-resource overlap model."""
+    return schedule_latency(plan.schedule, spec, plan.prefetch)
+
+
+def _evaluate_plan(plan: CandidatePlan, spec: AcceleratorSpec) -> PolicyEvaluation:
+    b = spec.bytes_per_elem
+    return PolicyEvaluation(
+        plan=plan,
+        memory_bytes=estimate_memory(plan, spec),
+        accesses_bytes=estimate_accesses(plan, spec),
+        read_bytes=plan.traffic.reads * b,
+        write_bytes=plan.traffic.writes * b,
+        latency=estimate_latency(plan, spec),
+    )
+
+
+def evaluate_layer(
+    layer: LayerSpec,
+    spec: AcceleratorSpec,
+    policies: tuple[Policy, ...] = NAMED_POLICIES,
+    use_fallback: bool = True,
+    allow_prefetch: bool = True,
+    always_fallback: bool = False,
+) -> list[PolicyEvaluation]:
+    """All feasible policy instantiations of one layer within the GLB.
+
+    With ``always_fallback`` the tile search competes against the named
+    policies instead of only rescuing infeasible layers; the heterogeneous
+    planner uses this so that ``Het`` dominates every ``Hom`` scheme (whose
+    infeasible layers fall back to the same search).
+
+    Returns an empty list only when even the tile-search fallback cannot
+    fit, which for sane GLB sizes does not happen (the fallback's smallest
+    footprint is a couple of rows).
+    """
+    budget = spec.glb_elems
+    prefetch_options = (False, True) if allow_prefetch else (False,)
+    evaluations: list[PolicyEvaluation] = []
+    for policy in policies:
+        for prefetch in prefetch_options:
+            plan = policy.plan(layer, budget, prefetch)
+            if plan is not None:
+                evaluations.append(_evaluate_plan(plan, spec))
+    if use_fallback and (always_fallback or not evaluations):
+        for prefetch in prefetch_options:
+            plan = FALLBACK_POLICY.plan(layer, budget, prefetch)
+            if plan is not None:
+                evaluations.append(_evaluate_plan(plan, spec))
+    return evaluations

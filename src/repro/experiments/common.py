@@ -1,0 +1,82 @@
+"""Shared configuration and plan caching for the experiment generators.
+
+All experiments use the paper's reference accelerator (§4): 16×16 PEs,
+512 OPs/cycle, 8-bit data, 16 elements/cycle off-chip bandwidth, GLB ∈
+{64, 128, 256, 512, 1024} kB, batch 1, layer-by-layer execution.
+
+Plans are memoized per (model, GLB, data width, objective, prefetch,
+inter-layer) so that the full experiment suite and the benchmarks do not
+recompute identical analyses.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..analyzer import ExecutionPlan, Objective, best_homogeneous, plan_heterogeneous
+from ..arch.spec import PAPER_GLB_SIZES, AcceleratorSpec
+from ..arch.units import kib
+from ..nn.model import Model
+from ..nn.zoo import PAPER_MODEL_NAMES, get_model
+from ..scalesim import SimulationResult, baseline_configs, simulate
+
+#: GLB sizes in kB, as labeled on the paper's x-axes.
+GLB_SIZES_KB = tuple(size // kib(1) for size in PAPER_GLB_SIZES)
+
+
+def spec_for(glb_kb: int, data_width_bits: int = 8) -> AcceleratorSpec:
+    """The paper's accelerator spec at one GLB size / data width."""
+    return AcceleratorSpec(glb_bytes=kib(glb_kb), data_width_bits=data_width_bits)
+
+
+@lru_cache(maxsize=None)
+def het_plan(
+    model_name: str,
+    glb_kb: int,
+    objective: Objective = Objective.ACCESSES,
+    data_width_bits: int = 8,
+    allow_prefetch: bool = True,
+    interlayer: bool = False,
+    interlayer_mode: str = "opportunistic",
+) -> ExecutionPlan:
+    """Cached heterogeneous plan."""
+    return plan_heterogeneous(
+        get_model(model_name),
+        spec_for(glb_kb, data_width_bits),
+        objective,
+        allow_prefetch=allow_prefetch,
+        interlayer=interlayer,
+        interlayer_mode=interlayer_mode,
+    )
+
+
+@lru_cache(maxsize=None)
+def hom_plan(
+    model_name: str,
+    glb_kb: int,
+    objective: Objective = Objective.ACCESSES,
+    data_width_bits: int = 8,
+    allow_prefetch: bool = True,
+) -> ExecutionPlan:
+    """Cached best homogeneous plan."""
+    return best_homogeneous(
+        get_model(model_name),
+        spec_for(glb_kb, data_width_bits),
+        objective,
+        allow_prefetch=allow_prefetch,
+    )
+
+
+@lru_cache(maxsize=None)
+def baseline_results(
+    model_name: str, glb_kb: int, data_width_bits: int = 8
+) -> dict[str, SimulationResult]:
+    """Cached SCALE-Sim baseline runs for the three partitions."""
+    model: Model = get_model(model_name)
+    configs = baseline_configs(kib(glb_kb), data_width_bits=data_width_bits)
+    return {label: simulate(model, config) for label, config in configs.items()}
+
+
+def all_model_names() -> tuple[str, ...]:
+    """The six paper models, in Table 2 order."""
+    return PAPER_MODEL_NAMES

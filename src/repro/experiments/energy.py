@@ -1,0 +1,76 @@
+"""Energy extension experiment: what the access reductions buy in joules.
+
+Not a paper artifact — the paper stops at access counts but motivates
+them entirely through energy ("off-chip transfers cost 10–100× a local
+computation", §2.3).  This experiment converts the Fig. 5 comparison into
+energy using the default cost model and reports the proposed scheme's
+energy reduction per model and buffer size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analyzer import Objective
+from ..energy import DEFAULT_ENERGY_MODEL, EnergyModel, baseline_energy, plan_energy
+from ..report.table import Table
+from .common import GLB_SIZES_KB, all_model_names, baseline_results, het_plan
+
+
+@dataclass(frozen=True)
+class EnergyCell:
+    model: str
+    glb_kb: int
+    baseline_uj: float  #: best (lowest-energy) baseline partition
+    het_uj: float
+    het_dram_share: float
+
+    @property
+    def reduction_pct(self) -> float:
+        return 100.0 * (1.0 - self.het_uj / self.baseline_uj)
+
+
+def run(
+    models: tuple[str, ...] | None = None,
+    glb_sizes_kb: tuple[int, ...] = GLB_SIZES_KB,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> list[EnergyCell]:
+    """Energy comparison grid (Het accesses-objective vs best baseline)."""
+    cells = []
+    for name in models or all_model_names():
+        for glb_kb in glb_sizes_kb:
+            base = min(
+                baseline_energy(result, energy_model).total_uj
+                for result in baseline_results(name, glb_kb).values()
+            )
+            breakdown = plan_energy(
+                het_plan(name, glb_kb, Objective.ACCESSES), energy_model
+            )
+            cells.append(
+                EnergyCell(
+                    model=name,
+                    glb_kb=glb_kb,
+                    baseline_uj=base,
+                    het_uj=breakdown.total_uj,
+                    het_dram_share=breakdown.dram_share,
+                )
+            )
+    return cells
+
+
+def to_table(cells: list[EnergyCell]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Energy extension: inference energy (µJ), Het vs best baseline",
+        headers=["Model", "GLB kB", "baseline µJ", "Het µJ", "reduction", "DRAM share"],
+    )
+    for c in cells:
+        table.add_row(
+            c.model,
+            c.glb_kb,
+            round(c.baseline_uj, 1),
+            round(c.het_uj, 1),
+            f"{c.reduction_pct:.1f}%",
+            f"{c.het_dram_share:.0%}",
+        )
+    return table

@@ -1,0 +1,69 @@
+"""Figure 3: per-layer memory breakdown of ResNet18.
+
+The stacked bars of the paper: for each of the 21 layers, the kB needed by
+the ifmap, filters and ofmap.  The trend the paper highlights — early
+layers dominated by feature maps, late layers by filters — is asserted by
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.units import to_kib
+from ..nn.stats import model_breakdown
+from ..nn.zoo import get_model
+from ..report.table import Table
+from .common import spec_for
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    index: int
+    layer: str
+    kind: str
+    ifmap_kib: float
+    filter_kib: float
+    ofmap_kib: float
+
+    @property
+    def total_kib(self) -> float:
+        return self.ifmap_kib + self.filter_kib + self.ofmap_kib
+
+
+def run(model_name: str = "ResNet18", glb_kb: int = 64) -> list[Fig3Row]:
+    """Regenerate the Figure 3 breakdown (any zoo model)."""
+    model = get_model(model_name)
+    spec = spec_for(glb_kb)
+    rows = []
+    for i, b in enumerate(model_breakdown(model, spec), start=1):
+        rows.append(
+            Fig3Row(
+                index=i,
+                layer=b.name,
+                kind=b.kind.value,
+                ifmap_kib=to_kib(b.ifmap_bytes),
+                filter_kib=to_kib(b.filter_bytes),
+                ofmap_kib=to_kib(b.ofmap_bytes),
+            )
+        )
+    return rows
+
+
+def to_table(rows: list[Fig3Row]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Figure 3: ResNet18 per-layer memory breakdown (kB)",
+        headers=["L", "Layer", "Kind", "ifmap", "filter", "ofmap", "total"],
+    )
+    for r in rows:
+        table.add_row(
+            r.index,
+            r.layer,
+            r.kind,
+            round(r.ifmap_kib, 1),
+            round(r.filter_kib, 1),
+            round(r.ofmap_kib, 1),
+            round(r.total_kib, 1),
+        )
+    return table

@@ -1,0 +1,98 @@
+"""Figure 5: off-chip memory access volume per scheme.
+
+For every model and GLB size, the five bars of the paper: the three
+fixed-partition baselines (``sa_25_75``, ``sa_50_50``, ``sa_75_25``) and
+the proposed ``Hom`` and ``Het`` schemes (accesses objective), in MB.
+
+Headline paper numbers for the 64 kB configuration: ``Hom`` reduces
+accesses by 32.2 % (MnasNet) to 74.5 % (ResNet18) and ``Het`` by 43.2 %
+(MobileNetV2) to 79.8 % (ResNet18); ``Het`` stays nearly flat across
+buffer sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analyzer import Objective
+from ..arch.units import to_mib
+from ..report.table import Table
+from .common import GLB_SIZES_KB, all_model_names, baseline_results, het_plan, hom_plan
+
+SCHEMES = ("sa_25_75", "sa_50_50", "sa_75_25", "hom", "het")
+
+#: Paper-reported Het reduction extremes at 64 kB (model -> percent).
+PAPER_HET_REDUCTION_64K = {"ResNet18": 79.8, "MobileNetV2": 43.2}
+#: Paper-reported Hom reduction extremes at 64 kB.
+PAPER_HOM_REDUCTION_64K = {"ResNet18": 74.5, "MnasNet": 32.2}
+
+
+@dataclass(frozen=True)
+class Fig5Cell:
+    model: str
+    glb_kb: int
+    accesses_mib: dict[str, float]  #: scheme -> MB
+
+    @property
+    def best_baseline(self) -> str:
+        return min(
+            (s for s in SCHEMES if s.startswith("sa_")),
+            key=lambda s: self.accesses_mib[s],
+        )
+
+    def reduction_vs_best_baseline(self, scheme: str) -> float:
+        """Percent reduction of ``scheme`` vs the best baseline partition."""
+        base = self.accesses_mib[self.best_baseline]
+        return 100.0 * (1.0 - self.accesses_mib[scheme] / base)
+
+
+def run(
+    models: tuple[str, ...] | None = None,
+    glb_sizes_kb: tuple[int, ...] = GLB_SIZES_KB,
+    data_width_bits: int = 8,
+) -> list[Fig5Cell]:
+    """Regenerate the Figure 5 data grid."""
+    cells = []
+    for name in models or all_model_names():
+        for glb_kb in glb_sizes_kb:
+            values: dict[str, float] = {}
+            for label, result in baseline_results(name, glb_kb, data_width_bits).items():
+                values[label] = to_mib(result.total_traffic_bytes)
+            values["hom"] = to_mib(
+                hom_plan(name, glb_kb, Objective.ACCESSES, data_width_bits).total_accesses_bytes
+            )
+            values["het"] = to_mib(
+                het_plan(name, glb_kb, Objective.ACCESSES, data_width_bits).total_accesses_bytes
+            )
+            cells.append(Fig5Cell(model=name, glb_kb=glb_kb, accesses_mib=values))
+    return cells
+
+
+def to_table(cells: list[Fig5Cell]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Figure 5: off-chip access volume (MB)",
+        headers=["Model", "GLB kB", *SCHEMES, "Het red. vs best sa_*"],
+    )
+    for c in cells:
+        table.add_row(
+            c.model,
+            c.glb_kb,
+            *(round(c.accesses_mib[s], 2) for s in SCHEMES),
+            f"{c.reduction_vs_best_baseline('het'):.1f}%",
+        )
+    return table
+
+
+def to_chart(cells: list[Fig5Cell], glb_kb: int = 64):
+    """Grouped bar chart of one GLB column (terminal rendering of Fig. 5)."""
+    from ..report.chart import bar_chart
+
+    subset = [c for c in cells if c.glb_kb == glb_kb]
+    groups = [c.model for c in subset]
+    series = {
+        scheme: [c.accesses_mib[scheme] for c in subset] for scheme in SCHEMES
+    }
+    return bar_chart(
+        f"Figure 5 @ {glb_kb} kB: off-chip accesses (MB)", groups, series
+    )

@@ -1,0 +1,80 @@
+"""Figure 6: heterogeneous-scheme memory breakdown for ResNet18 at 64 kB.
+
+For every layer of ResNet18, the GLB bytes the chosen policy allocates to
+each data type, the policy label (``p1``..``p5``, ``+p`` when prefetching)
+and the comparison against a 50-50 static partition — the figure the paper
+uses to show that fixed partitions cannot track per-layer demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analyzer import Objective
+from ..arch.units import kib, to_kib
+from ..report.table import Table
+from .common import het_plan
+
+
+@dataclass(frozen=True)
+class Fig6Row:
+    index: int
+    layer: str
+    label: str  #: policy label, e.g. "p2+p"
+    ifmap_kib: float
+    filter_kib: float
+    ofmap_kib: float
+    #: Factor applied for double buffering (2 with prefetch else 1).
+    prefetch_factor: int
+
+    @property
+    def total_kib(self) -> float:
+        return self.prefetch_factor * (self.ifmap_kib + self.filter_kib + self.ofmap_kib)
+
+    def exceeds_static_half(self, glb_kb: int, share: float = 0.5) -> dict[str, bool]:
+        """Which data types overflow a static ``share`` partition."""
+        half = glb_kb * share
+        return {
+            "ifmap": self.ifmap_kib > half,
+            "filter": self.filter_kib > half,
+            "ofmap": self.ofmap_kib > half,
+        }
+
+
+def run(model_name: str = "ResNet18", glb_kb: int = 64) -> list[Fig6Row]:
+    """Regenerate the Figure 6 per-layer allocation."""
+    plan = het_plan(model_name, glb_kb, Objective.ACCESSES)
+    rows = []
+    for i, a in enumerate(plan.assignments, start=1):
+        tiles = a.evaluation.plan.tiles
+        rows.append(
+            Fig6Row(
+                index=i,
+                layer=a.layer.name,
+                label=a.label,
+                ifmap_kib=to_kib(tiles.ifmap * plan.spec.bytes_per_elem),
+                filter_kib=to_kib(tiles.filters * plan.spec.bytes_per_elem),
+                ofmap_kib=to_kib(tiles.ofmap * plan.spec.bytes_per_elem),
+                prefetch_factor=2 if a.prefetch else 1,
+            )
+        )
+    return rows
+
+
+def to_table(rows: list[Fig6Row]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Figure 6: Het memory breakdown, ResNet18 @ 64 kB",
+        headers=["L", "Layer", "Policy", "ifmap kB", "filter kB", "ofmap kB", "total kB"],
+    )
+    for r in rows:
+        table.add_row(
+            r.index,
+            r.layer,
+            r.label,
+            round(r.ifmap_kib, 1),
+            round(r.filter_kib, 1),
+            round(r.ofmap_kib, 1),
+            round(r.total_kib, 1),
+        )
+    return table

@@ -1,0 +1,74 @@
+"""Figure 7: Het-over-Hom benefit across data widths (MobileNetV2).
+
+The paper shows the heterogeneous scheme pulls further ahead of the best
+homogeneous scheme as the data width grows (more pressure on the GLB):
+69 % fewer accesses at 32-bit/64 kB and 52 % at 32-bit/128 kB, fading for
+larger buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analyzer import Objective
+from ..arch.spec import PAPER_DATA_WIDTHS
+from ..arch.units import reduction_pct
+from ..report.table import Table
+from .common import GLB_SIZES_KB, het_plan, hom_plan
+
+#: Paper-reported Het-vs-Hom reductions at 32-bit.
+PAPER_32BIT_REDUCTION = {64: 69.0, 128: 52.0}
+
+
+@dataclass(frozen=True)
+class Fig7Cell:
+    model: str
+    data_width_bits: int
+    glb_kb: int
+    hom_accesses_bytes: int
+    het_accesses_bytes: int
+
+    @property
+    def het_benefit_pct(self) -> float:
+        """Percent access reduction of Het relative to Hom."""
+        return reduction_pct(self.het_accesses_bytes, self.hom_accesses_bytes)
+
+
+def run(
+    model_name: str = "MobileNetV2",
+    data_widths: tuple[int, ...] = PAPER_DATA_WIDTHS,
+    glb_sizes_kb: tuple[int, ...] = GLB_SIZES_KB,
+) -> list[Fig7Cell]:
+    """Regenerate the Figure 7 sweep."""
+    cells = []
+    for bits in data_widths:
+        for glb_kb in glb_sizes_kb:
+            hom = hom_plan(model_name, glb_kb, Objective.ACCESSES, bits)
+            het = het_plan(model_name, glb_kb, Objective.ACCESSES, bits)
+            cells.append(
+                Fig7Cell(
+                    model=model_name,
+                    data_width_bits=bits,
+                    glb_kb=glb_kb,
+                    hom_accesses_bytes=hom.total_accesses_bytes,
+                    het_accesses_bytes=het.total_accesses_bytes,
+                )
+            )
+    return cells
+
+
+def to_table(cells: list[Fig7Cell]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Figure 7: Het benefit over Hom vs data width (MobileNetV2)",
+        headers=["Width", "GLB kB", "Hom MB", "Het MB", "Het benefit"],
+    )
+    for c in cells:
+        table.add_row(
+            f"{c.data_width_bits}-bit",
+            c.glb_kb,
+            round(c.hom_accesses_bytes / 2**20, 2),
+            round(c.het_accesses_bytes / 2**20, 2),
+            f"{c.het_benefit_pct:.1f}%",
+        )
+    return table

@@ -1,0 +1,63 @@
+"""Figure 9: accesses-vs-latency trade-off of the latency objective.
+
+For every model at the smallest (64 kB) buffer, the change in accesses and
+latency when running the heterogeneous scheme optimized for latency
+(``Het_l``) instead of optimized for accesses (``Het_a``).  Positive
+values are benefits (reductions); negative values are penalties.
+
+Paper headline: MobileNet gains 23 % latency at the cost of 33 % more
+accesses — prefetch space competes with reuse space at small buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analyzer import Objective
+from ..arch.units import reduction_pct
+from ..report.table import Table
+from .common import all_model_names, het_plan
+
+
+@dataclass(frozen=True)
+class Fig9Row:
+    model: str
+    glb_kb: int
+    accesses_benefit_pct: float  #: negative = penalty
+    latency_benefit_pct: float
+
+
+def run(glb_kb: int = 64, models: tuple[str, ...] | None = None) -> list[Fig9Row]:
+    """Regenerate the Figure 9 comparison."""
+    rows = []
+    for name in models or all_model_names():
+        het_a = het_plan(name, glb_kb, Objective.ACCESSES)
+        het_l = het_plan(name, glb_kb, Objective.LATENCY)
+        rows.append(
+            Fig9Row(
+                model=name,
+                glb_kb=glb_kb,
+                accesses_benefit_pct=reduction_pct(
+                    het_l.total_accesses_bytes, het_a.total_accesses_bytes
+                ),
+                latency_benefit_pct=reduction_pct(
+                    het_l.total_latency_cycles, het_a.total_latency_cycles
+                ),
+            )
+        )
+    return rows
+
+
+def to_table(rows: list[Fig9Row]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Figure 9: Het_l vs Het_a at 64 kB (positive = benefit)",
+        headers=["Model", "Accesses benefit", "Latency benefit"],
+    )
+    for r in rows:
+        table.add_row(
+            r.model,
+            f"{r.accesses_benefit_pct:+.1f}%",
+            f"{r.latency_benefit_pct:+.1f}%",
+        )
+    return table

@@ -1,0 +1,79 @@
+"""Run every experiment and print/export the paper artifacts.
+
+Usage::
+
+    python -m repro.experiments            # print all tables
+    python -m repro.experiments --csv DIR  # also write one CSV per artifact
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable
+
+from ..report.table import Table
+from . import ablations, bounds, energy, fig1, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, resolution
+from . import table2, table3, table4
+
+#: artifact id -> callable producing its Table.
+ARTIFACTS: dict[str, Callable[[], Table]] = {
+    "table2": lambda: table2.to_table(table2.run()),
+    "table3": lambda: table3.to_table(table3.run()),
+    "table4": lambda: table4.to_table(table4.run()),
+    "fig1": lambda: fig1.to_table(fig1.run()),
+    "fig3": lambda: fig3.to_table(fig3.run()),
+    "fig5": lambda: fig5.to_table(fig5.run()),
+    "fig6": lambda: fig6.to_table(fig6.run()),
+    "fig7": lambda: fig7.to_table(fig7.run()),
+    "fig8": lambda: fig8.to_table(fig8.run()),
+    "fig9": lambda: fig9.to_table(fig9.run()),
+    "fig10": lambda: fig10.to_table(fig10.run()),
+    "fig11": lambda: fig11.to_table(fig11.run()),
+    # Extensions (not paper artifacts):
+    "energy": lambda: energy.to_table(energy.run()),
+    "ablation-interlayer": lambda: ablations.interlayer_modes_table(
+        ablations.interlayer_modes()
+    ),
+    "ablation-fallback": lambda: ablations.fallback_participation_table(
+        ablations.fallback_participation()
+    ),
+    "ablation-dataflow": lambda: ablations.baseline_dataflows_table(
+        ablations.baseline_dataflows()
+    ),
+    "resolution": lambda: resolution.to_table(resolution.run()),
+    "bounds": lambda: bounds.to_table(bounds.run()),
+}
+
+
+def run_all(csv_dir: str | None = None, only: list[str] | None = None) -> list[Table]:
+    """Generate (and optionally export) the selected artifacts."""
+    names = only or list(ARTIFACTS)
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        raise KeyError(f"unknown artifacts {unknown}; available: {list(ARTIFACTS)}")
+    tables = []
+    for name in names:
+        table = ARTIFACTS[name]()
+        tables.append(table)
+        if csv_dir is not None:
+            out = Path(csv_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            table.save_csv(out / f"{name}.csv")
+    return tables
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print (and optionally export) artifacts."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--csv", metavar="DIR", help="export CSVs to this directory")
+    parser.add_argument(
+        "artifacts",
+        nargs="*",
+        help=f"subset to run (default: all of {', '.join(ARTIFACTS)})",
+    )
+    args = parser.parse_args(argv)
+    for table in run_all(csv_dir=args.csv, only=args.artifacts or None):
+        print(table.render())
+        print()
+    return 0

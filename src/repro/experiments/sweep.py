@@ -1,0 +1,117 @@
+"""Design-space sweep utilities.
+
+The paper evaluates five GLB sizes at fixed bandwidth and PE count; these
+helpers generalize that into arbitrary one-dimensional sweeps so users
+can answer sizing questions ("smallest GLB within x % of the 1 MB
+accesses", "when does bandwidth stop mattering for latency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from ..analyzer import Objective, plan_heterogeneous
+from ..arch.spec import AcceleratorSpec
+from ..nn.model import Model
+from ..report.table import Table, series_table
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One point of a 1-D design-space sweep."""
+
+    value: float  #: the swept parameter's value
+    accesses_bytes: int
+    latency_cycles: float
+    max_memory_bytes: int
+    policies: tuple[str, ...]
+
+
+def glb_sweep(
+    model: Model,
+    sizes_bytes: Sequence[int],
+    objective: Objective = Objective.ACCESSES,
+    base_spec: AcceleratorSpec | None = None,
+    **plan_kwargs,
+) -> list[SweepPoint]:
+    """Sweep the GLB capacity."""
+    spec = base_spec or AcceleratorSpec()
+    points = []
+    for size in sizes_bytes:
+        plan = plan_heterogeneous(
+            model, spec.with_glb(size), objective, **plan_kwargs
+        )
+        points.append(
+            SweepPoint(
+                value=size,
+                accesses_bytes=plan.total_accesses_bytes,
+                latency_cycles=plan.total_latency_cycles,
+                max_memory_bytes=plan.max_memory_bytes,
+                policies=plan.policy_families_used,
+            )
+        )
+    return points
+
+
+def bandwidth_sweep(
+    model: Model,
+    bandwidths_elems_per_cycle: Sequence[float],
+    objective: Objective = Objective.LATENCY,
+    base_spec: AcceleratorSpec | None = None,
+    **plan_kwargs,
+) -> list[SweepPoint]:
+    """Sweep the off-chip bandwidth (latency objective by default)."""
+    spec = base_spec or AcceleratorSpec()
+    points = []
+    for bandwidth in bandwidths_elems_per_cycle:
+        plan = plan_heterogeneous(
+            model,
+            replace(spec, dram_bandwidth_elems_per_cycle=bandwidth),
+            objective,
+            **plan_kwargs,
+        )
+        points.append(
+            SweepPoint(
+                value=bandwidth,
+                accesses_bytes=plan.total_accesses_bytes,
+                latency_cycles=plan.total_latency_cycles,
+                max_memory_bytes=plan.max_memory_bytes,
+                policies=plan.policy_families_used,
+            )
+        )
+    return points
+
+
+def smallest_glb_within(
+    model: Model,
+    target_pct: float,
+    sizes_bytes: Sequence[int],
+    objective: Objective = Objective.ACCESSES,
+    **kwargs,
+) -> tuple[int, list[SweepPoint]]:
+    """Smallest GLB whose accesses are within ``target_pct`` % of the
+    largest swept size's accesses.  Returns (size, full sweep)."""
+    if not sizes_bytes:
+        raise ValueError("need at least one GLB size")
+    points = glb_sweep(model, sorted(sizes_bytes), objective, **kwargs)
+    reference = points[-1].accesses_bytes
+    threshold = reference * (1.0 + target_pct / 100.0)
+    for point in points:
+        if point.accesses_bytes <= threshold:
+            return int(point.value), points
+    return int(points[-1].value), points
+
+
+def sweep_table(title: str, parameter: str, points: list[SweepPoint]) -> Table:
+    """Render a sweep as a table."""
+    return series_table(
+        title,
+        parameter,
+        [p.value for p in points],
+        {
+            "accesses (MB)": [round(p.accesses_bytes / 2**20, 2) for p in points],
+            "latency (cycles)": [int(p.latency_cycles) for p in points],
+            "peak mem (kB)": [round(p.max_memory_bytes / 1024, 1) for p in points],
+        },
+    )

@@ -1,0 +1,78 @@
+"""Table 2: characteristics of the DL models studied."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.stats import characteristics
+from ..nn.zoo import PAPER_LAYER_COUNTS, get_model
+from ..report.table import Table
+from .common import all_model_names
+
+#: Layer-type strings exactly as printed in the paper's Table 2.
+PAPER_LAYER_TYPES = {
+    "EfficientNetB0": "CV, DW, PW, FC",
+    "GoogLeNet": "CV, PW, FC",
+    "MnasNet": "CV, DW, PW, FC",
+    "MobileNet": "CV, DW, PW, FC",
+    "MobileNetV2": "CV, DW, PW, FC",
+    "ResNet18": "CV, PW, FC, PL",
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    network: str
+    num_layers: int
+    paper_num_layers: int
+    layer_types: str
+    paper_layer_types: str
+    total_macs: int
+    total_weight_elems: int
+
+
+def run() -> list[Table2Row]:
+    """Regenerate Table 2 from the model zoo."""
+    rows = []
+    for name in all_model_names():
+        model = get_model(name)
+        info = characteristics(model)
+        rows.append(
+            Table2Row(
+                network=name,
+                num_layers=info.num_layers,
+                paper_num_layers=PAPER_LAYER_COUNTS[name],
+                layer_types=", ".join(k.value for k in info.layer_kinds),
+                paper_layer_types=PAPER_LAYER_TYPES[name],
+                total_macs=info.total_macs,
+                total_weight_elems=info.total_weight_elems,
+            )
+        )
+    return rows
+
+
+def to_table(rows: list[Table2Row]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Table 2: model characteristics (measured vs paper)",
+        headers=[
+            "Network",
+            "Layers",
+            "Layers (paper)",
+            "Types",
+            "Types (paper)",
+            "MACs",
+            "Weights",
+        ],
+    )
+    for r in rows:
+        table.add_row(
+            r.network,
+            r.num_layers,
+            r.paper_num_layers,
+            r.layer_types,
+            r.paper_layer_types,
+            r.total_macs,
+            r.total_weight_elems,
+        )
+    return table

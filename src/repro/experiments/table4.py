@@ -1,0 +1,88 @@
+"""Table 4: memory policies used at a 64 kB GLB.
+
+For each network, the set of policies the heterogeneous (accesses
+objective) plan assigns across its layers, in the paper's notation:
+``policy N`` used without prefetching, ``policy N +p`` with, and
+``policy N (+p)`` when both occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analyzer import Objective
+from ..report.table import Table
+from .common import all_model_names, het_plan
+
+#: Published Table 4 contents.
+PAPER_TABLE4 = {
+    "EfficientNetB0": "intra-layer reuse (+p), policy 1 (+p), policy 2 +p, "
+    "policy 3 (+p), policy 5 +p",
+    "GoogLeNet": "intra-layer reuse (+p), policy 1 (+p), policy 2 +p, "
+    "policy 3 (+p), policy 4, policy 5",
+    "MnasNet": "policy 1 (+p), policy 2 +p, policy 3 (+p)",
+    "MobileNet": "policy 1, policy 2, policy 3, policy 4, policy 5",
+    "MobileNetV2": "intra-layer reuse, policy 1, policy 2, policy 3",
+    "ResNet18": "policy 1, policy 2, policy 3, policy 5",
+}
+
+_DISPLAY = {
+    "intra": "intra-layer reuse",
+    "p1": "policy 1",
+    "p2": "policy 2",
+    "p3": "policy 3",
+    "p4": "policy 4",
+    "p5": "policy 5",
+    "tiled": "tile search",
+}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    network: str
+    policies: str  #: measured, paper notation
+    paper_policies: str
+
+
+def _paper_notation(labels: set[str]) -> str:
+    """Collapse {"p1", "p1+p", ...} into "policy 1 (+p)" style strings."""
+    families = sorted({label.removesuffix("+p") for label in labels})
+    parts = []
+    for family in families:
+        plain = family in labels
+        pf = f"{family}+p" in labels
+        name = _DISPLAY.get(family, family)
+        if plain and pf:
+            parts.append(f"{name} (+p)")
+        elif pf:
+            parts.append(f"{name} +p")
+        else:
+            parts.append(name)
+    return ", ".join(parts)
+
+
+def run(glb_kb: int = 64) -> list[Table4Row]:
+    """Regenerate Table 4 from the heterogeneous plans."""
+    rows = []
+    for name in all_model_names():
+        plan = het_plan(name, glb_kb, Objective.ACCESSES)
+        labels = {a.label for a in plan.assignments}
+        rows.append(
+            Table4Row(
+                network=name,
+                policies=_paper_notation(labels),
+                paper_policies=PAPER_TABLE4.get(name, "-"),
+            )
+        )
+    return rows
+
+
+def to_table(rows: list[Table4Row]) -> Table:
+    """Render the experiment's rows as a report table."""
+    table = Table(
+        title="Table 4: memory policies used (Het, accesses objective, 64 kB)",
+        headers=["Network", "Measured", "Paper"],
+    )
+    for r in rows:
+        table.add_row(r.network, r.policies, r.paper_policies)
+    return table

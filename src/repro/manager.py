@@ -1,0 +1,141 @@
+"""Top-level memory-manager facade (the paper's Fig. 4 operational flow).
+
+The paper's RAINBOW-based tool takes a CNN model description and the
+accelerator specification, estimates every policy per layer, and emits an
+execution plan for the chosen objective.  :class:`MemoryManager` packages
+that flow behind one object so applications do not need to assemble the
+analyzer pipeline by hand::
+
+    from repro import AcceleratorSpec
+    from repro.manager import MemoryManager
+    from repro.nn.zoo import get_model
+
+    manager = MemoryManager(AcceleratorSpec(glb_bytes=64 * 1024))
+    plan = manager.plan(get_model("ResNet18"))          # Het, min accesses
+    report = manager.compare_with_baseline(get_model("ResNet18"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .analyzer import (
+    ExecutionPlan,
+    Objective,
+    best_homogeneous,
+    plan_heterogeneous,
+    plan_homogeneous,
+)
+from .arch.spec import AcceleratorSpec
+from .estimators.evaluate import PolicyEvaluation, evaluate_layer
+from .nn.io import load_model
+from .nn.layer import LayerSpec
+from .nn.model import Model
+from .scalesim.presets import baseline_configs
+from .scalesim.simulator import SimulationResult, simulate
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Proposed plan vs the three fixed-partition baselines."""
+
+    plan: ExecutionPlan
+    baselines: dict[str, SimulationResult]
+
+    @property
+    def best_baseline_label(self) -> str:
+        return min(self.baselines, key=lambda k: self.baselines[k].total_traffic_bytes)
+
+    @property
+    def accesses_reduction_pct(self) -> float:
+        """Reduction of off-chip accesses vs the best baseline partition."""
+        best = self.baselines[self.best_baseline_label].total_traffic_bytes
+        return 100.0 * (1.0 - self.plan.total_accesses_bytes / best)
+
+    @property
+    def latency_reduction_pct(self) -> float:
+        """Latency reduction vs the zero-stall baseline compute time."""
+        base = next(iter(self.baselines.values())).total_cycles
+        return 100.0 * (1.0 - self.plan.total_latency_cycles / base)
+
+
+class MemoryManager:
+    """Scratchpad memory manager for a fixed accelerator specification."""
+
+    def __init__(self, spec: AcceleratorSpec):
+        self.spec = spec
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def plan(
+        self,
+        model: Model,
+        objective: Objective = Objective.ACCESSES,
+        *,
+        scheme: str = "het",
+        prefetch: bool = True,
+        interlayer: bool = False,
+        interlayer_mode: str = "opportunistic",
+    ) -> ExecutionPlan:
+        """Produce an execution plan.
+
+        ``scheme`` is ``"het"`` (Algorithm 1 per layer), ``"hom"`` (best
+        single policy family) or ``"hom(<family>)"`` for a specific family.
+        """
+        if scheme == "het":
+            return plan_heterogeneous(
+                model,
+                self.spec,
+                objective,
+                allow_prefetch=prefetch,
+                interlayer=interlayer,
+                interlayer_mode=interlayer_mode,
+            )
+        if interlayer:
+            raise ValueError("inter-layer reuse is only supported for the het scheme")
+        if scheme == "hom":
+            return best_homogeneous(
+                model, self.spec, objective, allow_prefetch=prefetch
+            )
+        if scheme.startswith("hom(") and scheme.endswith(")"):
+            plan = plan_homogeneous(
+                model,
+                self.spec,
+                scheme[4:-1],
+                objective,
+                allow_prefetch=prefetch,
+            )
+            if plan is None:
+                raise ValueError(f"{scheme} cannot fit {model.name} in this GLB")
+            return plan
+        raise ValueError(f"unknown scheme {scheme!r}")
+
+    def plan_from_file(self, path: str | Path, **kwargs: Any) -> ExecutionPlan:
+        """Plan a model loaded from a JSON description (Fig. 4 input)."""
+        return self.plan(load_model(path), **kwargs)
+
+    def evaluate(self, layer: LayerSpec) -> list[PolicyEvaluation]:
+        """Per-policy estimates for one layer (Algorithm 1 lines 7–9)."""
+        return evaluate_layer(layer, self.spec)
+
+    # ------------------------------------------------------------------
+    # Baseline comparison
+    # ------------------------------------------------------------------
+
+    def compare_with_baseline(
+        self,
+        model: Model,
+        objective: Objective = Objective.ACCESSES,
+        **plan_kwargs: Any,
+    ) -> BaselineComparison:
+        """Plan the model and simulate the three §4 baseline partitions."""
+        plan = self.plan(model, objective, **plan_kwargs)
+        configs = baseline_configs(
+            self.spec.glb_bytes, data_width_bits=self.spec.data_width_bits
+        )
+        baselines = {label: simulate(model, cfg) for label, cfg in configs.items()}
+        return BaselineComparison(plan=plan, baselines=baselines)

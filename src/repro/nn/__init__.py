@@ -1,0 +1,35 @@
+"""Neural-network substrate: layer/model descriptions, builder DSL, zoo."""
+
+from .builder import ModelBuilder, Tensor, same_padding
+from .io import load_model, model_from_dict, model_to_dict, save_model
+from .layer import LayerKind, LayerSpec, conv_out_extent
+from .model import Model, make_model
+from .summary import summarize
+from .stats import (
+    LayerMemoryBreakdown,
+    ModelCharacteristics,
+    characteristics,
+    layer_breakdown,
+    model_breakdown,
+)
+
+__all__ = [
+    "LayerKind",
+    "LayerSpec",
+    "conv_out_extent",
+    "Model",
+    "make_model",
+    "ModelBuilder",
+    "Tensor",
+    "same_padding",
+    "load_model",
+    "save_model",
+    "model_to_dict",
+    "model_from_dict",
+    "LayerMemoryBreakdown",
+    "ModelCharacteristics",
+    "characteristics",
+    "layer_breakdown",
+    "model_breakdown",
+    "summarize",
+]

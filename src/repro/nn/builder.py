@@ -1,0 +1,285 @@
+"""Builder DSL for describing CNNs layer by layer.
+
+The zoo models (Table 2 of the paper) are written against this builder.  It
+tracks the current tensor shape, flattens branching topologies (inception
+modules) into the paper's serialized layer-by-layer execution order, and
+records which consecutive layers form direct producer→consumer pairs — the
+prerequisite for inter-layer reuse (§5.4).
+
+Design notes
+------------
+* Pooling, activation and batch-norm operations are not memory-managed
+  layers in the paper (Table 2 counts only CV/DW/PW/FC/PL); the builder
+  models pooling as a shape transformation that *breaks* the
+  producer→consumer chain (the pooled tensor is no longer byte-identical to
+  the previous ofmap).
+* Residual adds and branch fan-outs likewise break the chain: the next
+  layer's ifmap is not exactly the previous layer's ofmap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .layer import LayerKind, LayerSpec, conv_out_extent
+from .model import Model, make_model
+
+
+@dataclass(frozen=True)
+class Tensor:
+    """A point in the network: shape plus provenance for chain detection."""
+
+    h: int
+    w: int
+    c: int
+    #: Index of the layer that produced this tensor, or ``None`` if it came
+    #: from the input, a pooling op, a concat or a residual add.
+    producer: int | None = None
+
+
+def same_padding(filt: int) -> int:
+    """Symmetric padding that preserves spatial extent at stride 1."""
+    return (filt - 1) // 2
+
+
+class ModelBuilder:
+    """Incrementally constructs a :class:`~repro.nn.model.Model`."""
+
+    def __init__(self, name: str, input_shape: tuple[int, int, int]):
+        h, w, c = input_shape
+        self.name = name
+        self._layers: list[LayerSpec] = []
+        self._cursor = Tensor(h, w, c)
+        #: producer layer index -> number of layers consuming its tensor
+        self._consumers: dict[int, int] = {}
+        #: for each emitted layer, the producer index of the tensor it read
+        self._consumed_producer: list[int | None] = []
+        self._auto_index = 0
+
+    # ------------------------------------------------------------------
+    # Cursor management (branches / residuals)
+    # ------------------------------------------------------------------
+
+    @property
+    def cursor(self) -> Tensor:
+        """The tensor the next layer would consume."""
+        return self._cursor
+
+    def fork(self) -> Tensor:
+        """Snapshot the current tensor so several branches can start here."""
+        return self._cursor
+
+    def goto(self, tensor: Tensor) -> None:
+        """Rewind the cursor to a previously forked tensor."""
+        self._cursor = tensor
+
+    def concat(self, tensors: list[Tensor]) -> None:
+        """Channel-concatenate branch outputs (inception join)."""
+        if not tensors:
+            raise ValueError("concat needs at least one tensor")
+        h, w = tensors[0].h, tensors[0].w
+        for t in tensors:
+            if (t.h, t.w) != (h, w):
+                raise ValueError(
+                    f"{self.name}: concat spatial mismatch "
+                    f"{(t.h, t.w)} vs {(h, w)}"
+                )
+        self._cursor = Tensor(h, w, sum(t.c for t in tensors))
+
+    def add_residual(self, shortcut: Tensor) -> None:
+        """Element-wise residual add; breaks the producer→consumer chain."""
+        cur = self._cursor
+        if (cur.h, cur.w, cur.c) != (shortcut.h, shortcut.w, shortcut.c):
+            raise ValueError(
+                f"{self.name}: residual shape mismatch "
+                f"{(cur.h, cur.w, cur.c)} vs {(shortcut.h, shortcut.w, shortcut.c)}"
+            )
+        self._cursor = Tensor(cur.h, cur.w, cur.c)
+
+    # ------------------------------------------------------------------
+    # Layers
+    # ------------------------------------------------------------------
+
+    def _emit(self, spec: LayerSpec) -> Tensor:
+        index = len(self._layers)
+        self._consumed_producer.append(self._cursor.producer)
+        if self._cursor.producer is not None:
+            self._consumers[self._cursor.producer] = (
+                self._consumers.get(self._cursor.producer, 0) + 1
+            )
+        self._layers.append(spec)
+        self._cursor = Tensor(spec.out_h, spec.out_w, spec.out_c, producer=index)
+        return self._cursor
+
+    def _name(self, given: str | None, prefix: str) -> str:
+        if given is not None:
+            return given
+        self._auto_index += 1
+        return f"{prefix}{self._auto_index}"
+
+    def conv(
+        self,
+        name: str | None = None,
+        *,
+        f: int,
+        n: int,
+        s: int = 1,
+        p: int | None = None,
+    ) -> Tensor:
+        """Standard convolution with ``n`` filters of spatial size ``f×f``.
+
+        ``p=None`` selects 'same'-style symmetric padding for odd filters.
+        """
+        cur = self._cursor
+        pad = same_padding(f) if p is None else p
+        return self._emit(
+            LayerSpec(
+                name=self._name(name, "conv"),
+                kind=LayerKind.CONV,
+                in_h=cur.h,
+                in_w=cur.w,
+                in_c=cur.c,
+                f_h=f,
+                f_w=f,
+                num_filters=n,
+                stride=s,
+                padding=pad,
+            )
+        )
+
+    def dw(
+        self,
+        name: str | None = None,
+        *,
+        f: int = 3,
+        s: int = 1,
+        p: int | None = None,
+    ) -> Tensor:
+        """Depth-wise convolution (single grouped filter, C_O = C_I)."""
+        cur = self._cursor
+        pad = same_padding(f) if p is None else p
+        return self._emit(
+            LayerSpec(
+                name=self._name(name, "dw"),
+                kind=LayerKind.DEPTHWISE,
+                in_h=cur.h,
+                in_w=cur.w,
+                in_c=cur.c,
+                f_h=f,
+                f_w=f,
+                num_filters=1,
+                stride=s,
+                padding=pad,
+            )
+        )
+
+    def pw(self, name: str | None = None, *, n: int, s: int = 1) -> Tensor:
+        """Point-wise (1×1) convolution with ``n`` filters."""
+        cur = self._cursor
+        return self._emit(
+            LayerSpec(
+                name=self._name(name, "pw"),
+                kind=LayerKind.POINTWISE,
+                in_h=cur.h,
+                in_w=cur.w,
+                in_c=cur.c,
+                f_h=1,
+                f_w=1,
+                num_filters=n,
+                stride=s,
+                padding=0,
+            )
+        )
+
+    def projection(self, name: str | None = None, *, n: int, s: int = 1) -> Tensor:
+        """1×1 projection shortcut (ResNet downsample, kind PL)."""
+        cur = self._cursor
+        return self._emit(
+            LayerSpec(
+                name=self._name(name, "proj"),
+                kind=LayerKind.PROJECTION,
+                in_h=cur.h,
+                in_w=cur.w,
+                in_c=cur.c,
+                f_h=1,
+                f_w=1,
+                num_filters=n,
+                stride=s,
+                padding=0,
+            )
+        )
+
+    def fc(self, name: str | None = None, *, n: int) -> Tensor:
+        """Fully-connected layer over a flattened 1×1×C input."""
+        cur = self._cursor
+        if (cur.h, cur.w) != (1, 1):
+            raise ValueError(
+                f"{self.name}: FC layer needs a 1x1 spatial input; call "
+                f"global_avgpool()/flatten() first (have {cur.h}x{cur.w})"
+            )
+        return self._emit(
+            LayerSpec(
+                name=self._name(name, "fc"),
+                kind=LayerKind.FC,
+                in_h=1,
+                in_w=1,
+                in_c=cur.c,
+                f_h=1,
+                f_w=1,
+                num_filters=n,
+                stride=1,
+                padding=0,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Shape-only operations (not memory-managed layers)
+    # ------------------------------------------------------------------
+
+    def maxpool(self, f: int, s: int | None = None, p: int = 0) -> Tensor:
+        """Max pooling; shape change only, breaks the reuse chain."""
+        return self._pool(f, s, p)
+
+    def avgpool(self, f: int, s: int | None = None, p: int = 0) -> Tensor:
+        """Average pooling; shape change only, breaks the reuse chain."""
+        return self._pool(f, s, p)
+
+    def _pool(self, f: int, s: int | None, p: int) -> Tensor:
+        cur = self._cursor
+        stride = f if s is None else s
+        self._cursor = Tensor(
+            conv_out_extent(cur.h, f, stride, p),
+            conv_out_extent(cur.w, f, stride, p),
+            cur.c,
+        )
+        return self._cursor
+
+    def global_avgpool(self) -> Tensor:
+        """Global average pooling to 1×1×C."""
+        cur = self._cursor
+        self._cursor = Tensor(1, 1, cur.c)
+        return self._cursor
+
+    def flatten(self) -> Tensor:
+        """Flatten H×W×C to 1×1×(H·W·C) ahead of an FC layer."""
+        cur = self._cursor
+        self._cursor = Tensor(1, 1, cur.h * cur.w * cur.c)
+        return self._cursor
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Model:
+        """Finalize into an immutable :class:`~repro.nn.model.Model`.
+
+        Layer ``i`` forms a producer→consumer pair with layer ``i+1`` when
+        layer ``i+1`` read exactly the tensor layer ``i`` produced and no
+        other layer (branch, residual) read it too.
+        """
+        pairs = [
+            producer
+            for consumer, producer in enumerate(self._consumed_producer)
+            if producer is not None
+            and producer == consumer - 1
+            and self._consumers.get(producer, 0) == 1
+        ]
+        return make_model(self.name, self._layers, pairs)

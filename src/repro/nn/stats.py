@@ -1,0 +1,67 @@
+"""Per-layer and per-model memory statistics.
+
+These back Figure 3 of the paper (memory breakdown of ResNet18 into ifmap /
+filter / ofmap per layer) and the model-characteristics summary of Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..arch.spec import AcceleratorSpec
+from .layer import LayerKind, LayerSpec
+from .model import Model
+
+
+@dataclass(frozen=True)
+class LayerMemoryBreakdown:
+    """Byte footprint of one layer's three data types (Fig. 3 bars)."""
+
+    name: str
+    kind: LayerKind
+    ifmap_bytes: int
+    filter_bytes: int
+    ofmap_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.ifmap_bytes + self.filter_bytes + self.ofmap_bytes
+
+
+def layer_breakdown(layer: LayerSpec, spec: AcceleratorSpec) -> LayerMemoryBreakdown:
+    """Memory breakdown of one layer at the spec's data width."""
+    b = spec.bytes_per_elem
+    return LayerMemoryBreakdown(
+        name=layer.name,
+        kind=layer.kind,
+        ifmap_bytes=layer.ifmap_elems * b,
+        filter_bytes=layer.filter_elems * b,
+        ofmap_bytes=layer.ofmap_elems * b,
+    )
+
+
+def model_breakdown(model: Model, spec: AcceleratorSpec) -> list[LayerMemoryBreakdown]:
+    """Per-layer breakdown for a whole model, in execution order."""
+    return [layer_breakdown(layer, spec) for layer in model.layers]
+
+
+@dataclass(frozen=True)
+class ModelCharacteristics:
+    """The Table 2 row for one model."""
+
+    name: str
+    num_layers: int
+    layer_kinds: tuple[LayerKind, ...]
+    total_macs: int
+    total_weight_elems: int
+
+
+def characteristics(model: Model) -> ModelCharacteristics:
+    """Summarize a model as in Table 2 (plus MAC/weight totals)."""
+    return ModelCharacteristics(
+        name=model.name,
+        num_layers=model.num_layers,
+        layer_kinds=model.layer_kinds(),
+        total_macs=model.total_macs,
+        total_weight_elems=model.total_weight_elems,
+    )

@@ -1,0 +1,68 @@
+"""EfficientNet-B0 (Tan & Le, ICML 2019) — 82 memory-managed layers.
+
+Count per Table 2: stem conv (1) + 16 MBConv blocks — the first without
+expansion (DW + SE-reduce + SE-expand + project = 4 layers), the remaining
+15 with expansion (expand PW + DW + SE-reduce + SE-expand + project = 5
+layers) — giving 79, + head PW (1) + classifier FC (1) = 82.
+
+The squeeze-and-excite stages operate on the globally-pooled 1×1×C tensor
+and are modeled as point-wise layers on a 1×1 spatial extent, matching
+Table 2's CV/DW/PW/FC type set.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder, Tensor
+from ..model import Model
+
+#: (expansion t, kernel k, output channels c, repeats n, first stride s)
+_STAGES = (
+    (1, 3, 16, 1, 1),
+    (6, 3, 24, 2, 2),
+    (6, 5, 40, 2, 2),
+    (6, 3, 80, 3, 2),
+    (6, 5, 112, 3, 1),
+    (6, 5, 192, 4, 2),
+    (6, 3, 320, 1, 1),
+)
+
+#: SE bottleneck ratio relative to the block's *input* channels (B0 default).
+_SE_RATIO = 0.25
+
+
+def _se_stage(b: ModelBuilder, name: str, block_in_c: int) -> None:
+    """Squeeze-excite: pool to 1×1, reduce, expand, rescale the feature map."""
+    feature = b.fork()
+    b.global_avgpool()
+    se_c = max(1, int(block_in_c * _SE_RATIO))
+    b.pw(f"{name}_se_reduce", n=se_c)
+    b.pw(f"{name}_se_expand", n=feature.c)
+    # The channel-wise rescale restores the feature-map shape; provenance is
+    # a combination of two tensors, so the chain is broken (producer=None).
+    b.goto(Tensor(feature.h, feature.w, feature.c))
+
+
+def build_efficientnetb0(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """Construct EfficientNet-B0 with squeeze-excite stages."""
+    b = ModelBuilder("EfficientNetB0", (input_size, input_size, 3))
+    b.conv("stem", f=3, n=32, s=2, p=1)
+    block_index = 0
+    for t, kernel, channels, repeats, first_stride in _STAGES:
+        for r in range(repeats):
+            block_index += 1
+            name = f"b{block_index}"
+            stride = first_stride if r == 0 else 1
+            in_c = b.cursor.c
+            use_residual = stride == 1 and in_c == channels
+            shortcut = b.fork() if use_residual else None
+            if t != 1:
+                b.pw(f"{name}_expand", n=in_c * t)
+            b.dw(f"{name}_dw", f=kernel, s=stride, p=(kernel - 1) // 2)
+            _se_stage(b, name, in_c)
+            b.pw(f"{name}_project", n=channels)
+            if shortcut is not None:
+                b.add_residual(shortcut)
+    b.pw("head", n=1280)
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()

@@ -1,0 +1,137 @@
+"""Extended model zoo (beyond the paper's six networks).
+
+Classic CNNs users are likely to bring to the tool.  They follow the same
+conventions as the paper zoo (memory-managed layers only: conv / fc;
+pooling and activations are shape transformations).
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..model import Model
+
+
+def build_alexnet(input_size: int = 227, num_classes: int = 1000) -> Model:
+    """AlexNet (Krizhevsky et al., 2012): 5 conv + 3 FC layers."""
+    b = ModelBuilder("AlexNet", (input_size, input_size, 3))
+    b.conv("conv1", f=11, n=96, s=4, p=0)
+    b.maxpool(3, 2)
+    b.conv("conv2", f=5, n=256, p=2)
+    b.maxpool(3, 2)
+    b.conv("conv3", f=3, n=384, p=1)
+    b.conv("conv4", f=3, n=384, p=1)
+    b.conv("conv5", f=3, n=256, p=1)
+    b.maxpool(3, 2)
+    b.flatten()
+    b.fc("fc6", n=4096)
+    b.fc("fc7", n=4096)
+    b.fc("fc8", n=num_classes)
+    return b.build()
+
+
+def build_vgg16(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """VGG-16 (Simonyan & Zisserman, 2015): 13 conv + 3 FC layers."""
+    b = ModelBuilder("VGG16", (input_size, input_size, 3))
+    stages = ((2, 64), (2, 128), (3, 256), (3, 512), (3, 512))
+    index = 0
+    for repeats, channels in stages:
+        for _ in range(repeats):
+            index += 1
+            b.conv(f"conv{index}", f=3, n=channels, p=1)
+        b.maxpool(2, 2)
+    b.flatten()
+    b.fc("fc1", n=4096)
+    b.fc("fc2", n=4096)
+    b.fc("fc3", n=num_classes)
+    return b.build()
+
+
+def build_squeezenet(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """SqueezeNet 1.1 (Iandola et al., 2016): fire modules, no FC.
+
+    A fire module is a 1×1 squeeze followed by parallel 1×1 and 3×3
+    expands whose outputs concatenate.
+    """
+    b = ModelBuilder("SqueezeNet", (input_size, input_size, 3))
+
+    def fire(name: str, squeeze: int, expand: int) -> None:
+        b.pw(f"{name}_squeeze", n=squeeze)
+        entry = b.fork()
+        e1 = b.pw(f"{name}_e1x1", n=expand)
+        b.goto(entry)
+        e3 = b.conv(f"{name}_e3x3", f=3, n=expand, p=1)
+        b.concat([e1, e3])
+
+    b.conv("conv1", f=3, n=64, s=2, p=0)
+    b.maxpool(3, 2)
+    fire("fire2", 16, 64)
+    fire("fire3", 16, 64)
+    b.maxpool(3, 2)
+    fire("fire4", 32, 128)
+    fire("fire5", 32, 128)
+    b.maxpool(3, 2)
+    fire("fire6", 48, 192)
+    fire("fire7", 48, 192)
+    fire("fire8", 64, 256)
+    fire("fire9", 64, 256)
+    b.pw("conv10", n=num_classes)
+    return b.build()
+
+
+def _resnet_bottleneck(
+    b: ModelBuilder, stage: int, block: int, channels: int, downsample: bool
+) -> None:
+    """One ResNet-50 bottleneck: 1×1 reduce, 3×3, 1×1 expand (+projection)."""
+    shortcut = b.fork()
+    stride = 2 if downsample and stage > 2 else 1
+    needs_projection = downsample or b.cursor.c != channels * 4
+    b.pw(f"conv{stage}_{block}a", n=channels, s=stride)
+    b.conv(f"conv{stage}_{block}b", f=3, n=channels, p=1)
+    b.pw(f"conv{stage}_{block}c", n=channels * 4)
+    if needs_projection:
+        out = b.fork()
+        b.goto(shortcut)
+        b.projection(f"proj{stage}_{block}", n=channels * 4, s=stride)
+        projected = b.fork()
+        b.goto(out)
+        b.add_residual(projected)
+    else:
+        b.add_residual(shortcut)
+
+
+def build_resnet50(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """ResNet-50 (He et al., 2016): bottleneck residual blocks."""
+    b = ModelBuilder("ResNet50", (input_size, input_size, 3))
+    b.conv("conv1", f=7, n=64, s=2, p=3)
+    b.maxpool(3, 2, p=1)
+    for stage, channels, repeats in ((2, 64, 3), (3, 128, 4), (4, 256, 6), (5, 512, 3)):
+        for block in range(1, repeats + 1):
+            _resnet_bottleneck(b, stage, block, channels, downsample=(block == 1))
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()
+
+
+def build_resnet34(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """ResNet-34 (He et al., 2016): basic residual blocks, deeper than -18."""
+    b = ModelBuilder("ResNet34", (input_size, input_size, 3))
+    b.conv("conv1", f=7, n=64, s=2, p=3)
+    b.maxpool(3, 2, p=1)
+    for stage, channels, repeats in ((2, 64, 3), (3, 128, 4), (4, 256, 6), (5, 512, 3)):
+        for block in range(1, repeats + 1):
+            downsample = stage > 2 and block == 1
+            shortcut = b.fork()
+            b.conv(f"conv{stage}_{block}a", f=3, n=channels, s=2 if downsample else 1, p=1)
+            b.conv(f"conv{stage}_{block}b", f=3, n=channels, p=1)
+            if downsample:
+                out = b.fork()
+                b.goto(shortcut)
+                b.projection(f"proj{stage}", n=channels, s=2)
+                projected = b.fork()
+                b.goto(out)
+                b.add_residual(projected)
+            else:
+                b.add_residual(shortcut)
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()

@@ -1,0 +1,84 @@
+"""GoogLeNet (Szegedy et al., CVPR 2015) — 64 memory-managed layers.
+
+Count per Table 2: conv1 + conv2-reduce + conv2 (3) + 9 inception modules of
+6 convolutions each (54) + two auxiliary classifiers of 3 layers each (6) +
+classifier FC (1) = 64.  Branch layers are flattened into serialized
+execution order, matching the paper's layer-by-layer model.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder, Tensor
+from ..model import Model
+
+#: Inception configs: name -> (n1x1, (r3x3, n3x3), (r5x5, n5x5), pool_proj)
+_INCEPTION = (
+    ("3a", 64, (96, 128), (16, 32), 32),
+    ("3b", 128, (128, 192), (32, 96), 64),
+    ("pool",),
+    ("4a", 192, (96, 208), (16, 48), 64),
+    ("4b", 160, (112, 224), (24, 64), 64),
+    ("4c", 128, (128, 256), (24, 64), 64),
+    ("4d", 112, (144, 288), (32, 64), 64),
+    ("4e", 256, (160, 320), (32, 128), 128),
+    ("pool",),
+    ("5a", 256, (160, 320), (32, 128), 128),
+    ("5b", 384, (192, 384), (48, 128), 128),
+)
+
+#: Modules after which an auxiliary classifier hangs (original GoogLeNet).
+_AUX_AFTER = ("4a", "4d")
+
+
+def _inception(b: ModelBuilder, name: str, n1: int, n3: tuple[int, int],
+               n5: tuple[int, int], pool_proj: int) -> None:
+    entry = b.fork()
+    outs: list[Tensor] = []
+
+    b.goto(entry)
+    outs.append(b.pw(f"inc{name}_1x1", n=n1))
+
+    b.goto(entry)
+    b.pw(f"inc{name}_3x3r", n=n3[0])
+    outs.append(b.conv(f"inc{name}_3x3", f=3, n=n3[1], p=1))
+
+    b.goto(entry)
+    b.pw(f"inc{name}_5x5r", n=n5[0])
+    outs.append(b.conv(f"inc{name}_5x5", f=5, n=n5[1], p=2))
+
+    b.goto(entry)
+    b.maxpool(3, 1, p=1)
+    outs.append(b.pw(f"inc{name}_pool", n=pool_proj))
+
+    b.concat(outs)
+
+
+def _aux_classifier(b: ModelBuilder, name: str, trunk: Tensor, num_classes: int) -> None:
+    b.goto(trunk)
+    b.avgpool(5, 3)
+    b.pw(f"aux{name}_conv", n=128)
+    b.flatten()
+    b.fc(f"aux{name}_fc1", n=1024)
+    b.fc(f"aux{name}_fc2", n=num_classes)
+    b.goto(trunk)
+
+
+def build_googlenet(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """Construct GoogLeNet (Inception v1) with both auxiliary classifiers."""
+    b = ModelBuilder("GoogLeNet", (input_size, input_size, 3))
+    b.conv("conv1", f=7, n=64, s=2, p=3)
+    b.maxpool(3, 2, p=1)
+    b.pw("conv2_reduce", n=64)
+    b.conv("conv2", f=3, n=192, p=1)
+    b.maxpool(3, 2, p=1)
+    for cfg in _INCEPTION:
+        if cfg[0] == "pool":
+            b.maxpool(3, 2, p=1)
+            continue
+        name, n1, n3, n5, pp = cfg
+        _inception(b, name, n1, n3, n5, pp)
+        if name in _AUX_AFTER:
+            _aux_classifier(b, name, b.fork(), num_classes)
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()

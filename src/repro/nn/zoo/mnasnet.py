@@ -1,0 +1,48 @@
+"""MnasNet-B1 (Tan et al., CVPR 2019) — 53 memory-managed layers.
+
+Count per Table 2: stem conv + separable stem block (DW + PW) + 16 MBConv
+bottlenecks (expand PW + DW + project PW) + head PW + classifier FC =
+1 + 2 + 48 + 1 + 1 = 53.  The B1 variant has no squeeze-excite stages, which
+matches Table 2 listing only CV/DW/PW/FC types.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..model import Model
+
+#: (expansion t, kernel k, output channels c, repeats n, first stride s)
+_STAGES = (
+    (3, 3, 24, 3, 2),
+    (3, 5, 40, 3, 2),
+    (6, 5, 80, 3, 2),
+    (6, 3, 96, 2, 1),
+    (6, 5, 192, 4, 2),
+    (6, 3, 320, 1, 1),
+)
+
+
+def build_mnasnet(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """Construct MnasNet-B1 (depth multiplier 1.0)."""
+    b = ModelBuilder("MnasNet", (input_size, input_size, 3))
+    b.conv("conv1", f=3, n=32, s=2, p=1)
+    # Separable stem block (SepConv k3, 16 output channels).
+    b.dw("sep_dw", f=3, s=1, p=1)
+    b.pw("sep_pw", n=16)
+    block_index = 0
+    for t, kernel, channels, repeats, first_stride in _STAGES:
+        for r in range(repeats):
+            block_index += 1
+            stride = first_stride if r == 0 else 1
+            in_c = b.cursor.c
+            use_residual = stride == 1 and in_c == channels
+            shortcut = b.fork() if use_residual else None
+            b.pw(f"b{block_index}_expand", n=in_c * t)
+            b.dw(f"b{block_index}_dw", f=kernel, s=stride, p=(kernel - 1) // 2)
+            b.pw(f"b{block_index}_project", n=channels)
+            if shortcut is not None:
+                b.add_residual(shortcut)
+    b.pw("head", n=1280)
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()

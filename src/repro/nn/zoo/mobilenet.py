@@ -1,0 +1,39 @@
+"""MobileNet v1 (Howard et al., 2017) — 28 memory-managed layers.
+
+Count per Table 2: stem conv + 13 depth-wise-separable blocks (DW + PW each)
++ classifier FC = 1 + 26 + 1 = 28.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..model import Model
+
+#: (stride of the depth-wise conv, point-wise output channels) per block.
+_BLOCKS = (
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+)
+
+
+def build_mobilenet(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """Construct MobileNet v1 (width multiplier 1.0)."""
+    b = ModelBuilder("MobileNet", (input_size, input_size, 3))
+    b.conv("conv1", f=3, n=32, s=2, p=1)
+    for i, (stride, channels) in enumerate(_BLOCKS, start=1):
+        b.dw(f"dw{i}", f=3, s=stride, p=1)
+        b.pw(f"pw{i}", n=channels)
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()

@@ -1,0 +1,46 @@
+"""MobileNetV2 (Sandler et al., CVPR 2018) — 53 memory-managed layers.
+
+Count per Table 2: stem conv + first bottleneck (no expansion: DW + PW) +
+16 expanded bottlenecks (expand PW + DW + project PW) + head PW +
+classifier FC = 1 + 2 + 48 + 1 + 1 = 53.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..model import Model
+
+#: (expansion factor t, output channels c, repeats n, first stride s)
+_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def build_mobilenetv2(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """Construct MobileNetV2 (width multiplier 1.0)."""
+    b = ModelBuilder("MobileNetV2", (input_size, input_size, 3))
+    b.conv("conv1", f=3, n=32, s=2, p=1)
+    block_index = 0
+    for t, channels, repeats, first_stride in _STAGES:
+        for r in range(repeats):
+            block_index += 1
+            stride = first_stride if r == 0 else 1
+            in_c = b.cursor.c
+            use_residual = stride == 1 and in_c == channels
+            shortcut = b.fork() if use_residual else None
+            if t != 1:
+                b.pw(f"b{block_index}_expand", n=in_c * t)
+            b.dw(f"b{block_index}_dw", f=3, s=stride, p=1)
+            b.pw(f"b{block_index}_project", n=channels)
+            if shortcut is not None:
+                b.add_residual(shortcut)
+    b.pw("head", n=1280)
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()

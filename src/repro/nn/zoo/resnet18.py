@@ -1,0 +1,41 @@
+"""ResNet18 (He et al., CVPR 2016) — 21 memory-managed layers.
+
+Count per Table 2: conv1 + 16 block convolutions + 3 projection shortcuts +
+the classifier FC = 21.  Residual additions are serialized per the paper's
+layer-by-layer execution, so they appear only as chain breaks, not layers.
+"""
+
+from __future__ import annotations
+
+from ..builder import ModelBuilder
+from ..model import Model
+
+
+def build_resnet18(input_size: int = 224, num_classes: int = 1000) -> Model:
+    """Construct ResNet18 for ``input_size``×``input_size``×3 inputs."""
+    b = ModelBuilder("ResNet18", (input_size, input_size, 3))
+    b.conv("conv1", f=7, n=64, s=2, p=3)
+    b.maxpool(3, 2, p=1)
+
+    def basic_block(stage: int, block: int, channels: int, downsample: bool) -> None:
+        shortcut = b.fork()
+        stride = 2 if downsample else 1
+        b.conv(f"conv{stage}_{block}a", f=3, n=channels, s=stride, p=1)
+        b.conv(f"conv{stage}_{block}b", f=3, n=channels, s=1, p=1)
+        if downsample:
+            out = b.fork()
+            b.goto(shortcut)
+            b.projection(f"proj{stage}", n=channels, s=2)
+            projected = b.fork()
+            b.goto(out)
+            b.add_residual(projected)
+        else:
+            b.add_residual(shortcut)
+
+    for stage, channels in ((2, 64), (3, 128), (4, 256), (5, 512)):
+        for block in (1, 2):
+            basic_block(stage, block, channels, downsample=(stage > 2 and block == 1))
+
+    b.global_avgpool()
+    b.fc("fc", n=num_classes)
+    return b.build()

@@ -1,0 +1,44 @@
+"""Scratchpad memory-management policies (paper §3.2)."""
+
+from .base import (
+    CandidatePlan,
+    LayerSchedule,
+    Policy,
+    StepGroup,
+    TileSizes,
+    Traffic,
+)
+from .intra import IntraLayerReuse
+from .p1 import IfmapReuse
+from .p2 import FilterReuse
+from .p3 import PerChannelReuse
+from .p4 import PartialIfmapReuse, split_blocks
+from .p5 import PartialPerChannelReuse
+from .registry import (
+    FALLBACK_POLICY,
+    NAMED_POLICIES,
+    SINGLE_TRANSFER_POLICY_NAMES,
+    policy_by_name,
+)
+from .tiled import TiledFallback
+
+__all__ = [
+    "Policy",
+    "CandidatePlan",
+    "LayerSchedule",
+    "StepGroup",
+    "TileSizes",
+    "Traffic",
+    "IntraLayerReuse",
+    "IfmapReuse",
+    "FilterReuse",
+    "PerChannelReuse",
+    "PartialIfmapReuse",
+    "PartialPerChannelReuse",
+    "TiledFallback",
+    "split_blocks",
+    "NAMED_POLICIES",
+    "FALLBACK_POLICY",
+    "SINGLE_TRANSFER_POLICY_NAMES",
+    "policy_by_name",
+]

@@ -1,0 +1,50 @@
+"""Intra-layer reuse: the whole layer is resident on-chip.
+
+Every element is transferred exactly once (the off-chip minimum), but the
+residency requirement is the full layer working set — often hundreds of kB
+to a few MB (Table 3), so this policy only fits large buffers.
+"""
+
+from __future__ import annotations
+
+from ..nn.layer import LayerSpec
+from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
+
+
+class IntraLayerReuse(Policy):
+    """Whole-layer residency (paper §3.2, "intra-layer reuse")."""
+
+    name = "intra"
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate whole-layer residency within the budget (None if infeasible)."""
+        tiles = TileSizes(
+            ifmap=layer.ifmap_elems,
+            filters=layer.filter_elems,
+            ofmap=layer.ofmap_elems,
+        )
+        if not self._fits(tiles, budget_elems, prefetch):
+            return None
+        schedule = LayerSchedule(
+            resident_ifmap=self.ifmap_pass_elems(layer),
+            resident_filters=layer.filter_elems,
+            groups=(
+                StepGroup(count=1, macs=layer.macs, store=layer.ofmap_elems),
+            ),
+        )
+        traffic = Traffic(
+            ifmap_reads=self.ifmap_pass_elems(layer),
+            filter_reads=layer.filter_elems,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            ofmap_resident_at_end=True,
+        )

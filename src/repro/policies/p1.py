@@ -1,0 +1,63 @@
+"""Policy 1 — ifmap reuse.
+
+All filters of the layer stay resident; the ifmap streams through a
+height-wise sliding window of ``F_H × I_W × C_I`` and each window produces
+one full ofmap row (``1 × O_W × C_O``).  Every element crosses the off-chip
+interface exactly once (Fig. 2b of the paper).
+"""
+
+from __future__ import annotations
+
+from ..nn.layer import LayerSpec
+from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
+
+
+class IfmapReuse(Policy):
+    """Policy 1: resident filters, sliding-window ifmap, ofmap-row output."""
+
+    name = "p1"
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate resident filters against a sliding ifmap window within the budget (None if infeasible)."""
+        window = layer.f_h * layer.padded_w * layer.in_c
+        tiles = TileSizes(
+            ifmap=window,
+            filters=layer.filter_elems,
+            ofmap=layer.out_w * layer.out_c,
+        )
+        if not self._fits(tiles, budget_elems, prefetch):
+            return None
+        row_macs = layer.macs // layer.out_h
+        row_store = layer.out_w * layer.out_c
+        cols = self.covered_cols(layer)
+        step_rows_load = self.row_step(layer) * cols * layer.in_c
+        fill = layer.f_h * cols * layer.in_c
+        groups = [StepGroup(count=1, ifmap=fill, macs=row_macs, store=row_store)]
+        if layer.out_h > 1:
+            groups.append(
+                StepGroup(
+                    count=layer.out_h - 1,
+                    ifmap=step_rows_load,
+                    macs=row_macs,
+                    store=row_store,
+                )
+            )
+        schedule = LayerSchedule(
+            resident_filters=layer.filter_elems, groups=tuple(groups)
+        )
+        traffic = Traffic(
+            ifmap_reads=self.ifmap_pass_elems(layer),
+            filter_reads=layer.filter_elems,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            ofmap_resident_at_end=False,
+        )

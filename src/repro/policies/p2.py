@@ -1,0 +1,66 @@
+"""Policy 2 — filter reuse.
+
+The entire ifmap stays resident; filters stream through one at a time, and
+the ofmap buffer holds one output channel (``O_H × O_W``).  Every element
+crosses the off-chip interface exactly once.
+
+Depth-wise layers stream one per-channel 2-D filter at a time (the grouped
+filter's channels are independent), so the filter tile is ``F_H × F_W`` and
+one step finishes one ofmap channel.
+"""
+
+from __future__ import annotations
+
+from ..nn.layer import LayerSpec
+from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
+
+
+class FilterReuse(Policy):
+    """Policy 2: resident ifmap, filters streamed one by one."""
+
+    name = "p2"
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate resident ifmap against streamed filters within the budget (None if infeasible)."""
+        if layer.kind.is_depthwise:
+            filter_tile = layer.f_h * layer.f_w
+            num_steps = layer.in_c
+        else:
+            filter_tile = layer.filter_elems_per_filter
+            num_steps = layer.num_filters
+        channel = layer.out_h * layer.out_w
+        tiles = TileSizes(
+            ifmap=layer.ifmap_elems,
+            filters=filter_tile,
+            ofmap=channel,
+        )
+        if not self._fits(tiles, budget_elems, prefetch):
+            return None
+        step_macs = layer.macs // num_steps
+        schedule = LayerSchedule(
+            resident_ifmap=self.ifmap_pass_elems(layer),
+            groups=(
+                StepGroup(
+                    count=num_steps,
+                    filters=filter_tile,
+                    macs=step_macs,
+                    store=channel,
+                ),
+            ),
+        )
+        traffic = Traffic(
+            ifmap_reads=self.ifmap_pass_elems(layer),
+            filter_reads=layer.filter_elems,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            ofmap_resident_at_end=False,
+        )

@@ -1,0 +1,84 @@
+"""Policy 3 — per-channel reuse.
+
+Convolution reuse happens per channel: one ifmap channel meets only the
+matching channel of each filter.  This policy keeps one channel of *all*
+filters resident (``F_H × F_W × F#``), streams a single-channel ifmap
+window (``F_H × I_W``) height-wise, and accumulates into a resident
+full-layer ofmap (``O_H × O_W × C_O``).  Every element crosses the
+off-chip interface exactly once.
+
+Depth-wise layers degenerate gracefully: each channel's 2-D filter is "one
+channel of all filters", and since a DW channel's output depends only on its
+own input channel, the ofmap can stream out per channel (``O_H × O_W``
+residency) instead of staying resident for the whole layer.
+"""
+
+from __future__ import annotations
+
+from ..nn.layer import LayerSpec
+from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
+
+
+class PerChannelReuse(Policy):
+    """Policy 3: per-channel filter residency with full-ofmap accumulation."""
+
+    name = "p3"
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate per-channel streaming with full-ofmap accumulation within the budget (None if infeasible)."""
+        window = layer.f_h * layer.padded_w
+        depthwise = layer.kind.is_depthwise
+        if depthwise:
+            filter_tile = layer.f_h * layer.f_w
+            ofmap_tile = layer.out_h * layer.out_w
+        else:
+            filter_tile = layer.f_h * layer.f_w * layer.num_filters
+            ofmap_tile = layer.ofmap_elems
+        tiles = TileSizes(ifmap=window, filters=filter_tile, ofmap=ofmap_tile)
+        if not self._fits(tiles, budget_elems, prefetch):
+            return None
+
+        # Per input channel: load the filter channel + fill the window, then
+        # slide the window down one output row at a time.
+        row_macs = layer.macs // (layer.out_h * layer.in_c)
+        cols = self.covered_cols(layer)
+        window_fill = layer.f_h * cols
+        row_load = self.row_step(layer) * cols
+        per_channel_store = ofmap_tile if depthwise else 0
+        groups = [
+            StepGroup(
+                count=layer.in_c,
+                ifmap=window_fill,
+                filters=filter_tile,
+                macs=row_macs,
+                store=per_channel_store,
+            )
+        ]
+        if layer.out_h > 1:
+            groups.append(
+                StepGroup(
+                    count=layer.in_c * (layer.out_h - 1),
+                    ifmap=row_load,
+                    macs=row_macs,
+                )
+            )
+        if not depthwise:
+            # The accumulated full ofmap drains once at the end.
+            groups.append(StepGroup(count=1, store=layer.ofmap_elems))
+        schedule = LayerSchedule(groups=tuple(groups))
+        traffic = Traffic(
+            ifmap_reads=layer.in_c * self.ifmap_pass_elems_per_channel(layer),
+            filter_reads=layer.in_c * filter_tile,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            ofmap_resident_at_end=not depthwise,
+        )

@@ -1,0 +1,178 @@
+"""Policy 4 — partial ifmap reuse.
+
+Like Policy 1 the ifmap streams as a ``F_H × I_W × C_I`` sliding window,
+but the filters load in blocks of ``n < F#`` filters, so the whole ifmap is
+re-streamed from off-chip ``x = ⌈F#/n⌉`` times while filters and ofmap
+still move only once.  ``n`` is memory-dependent: the policy instantiates
+the largest block that satisfies the GLB budget (paper: "their requirements
+are constrained by the GLB size").
+
+Depth-wise layers block over *channels* instead: a block of ``n`` channels
+needs only its own ifmap channels, so the ifmap is never re-streamed
+(``x = 1``) and the policy reaches the single-transfer minimum the paper
+notes for DW layers.
+"""
+
+from __future__ import annotations
+
+from ..arch.units import ceil_div
+from ..nn.layer import LayerSpec
+from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
+
+
+def split_blocks(total: int, block: int) -> list[tuple[int, int]]:
+    """Partition ``total`` items into blocks: ``[(count, size), ...]``.
+
+    Full blocks first, then the remainder block if any, e.g.
+    ``split_blocks(10, 4) == [(2, 4), (1, 2)]``.
+    """
+    if block <= 0 or total <= 0:
+        raise ValueError("split_blocks needs positive total and block")
+    full, rem = divmod(total, block)
+    out = []
+    if full:
+        out.append((full, block))
+    if rem:
+        out.append((1, rem))
+    return out
+
+
+class PartialIfmapReuse(Policy):
+    """Policy 4: sliding-window ifmap against filter blocks of size ``n``."""
+
+    name = "p4"
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate sliding-window ifmap against filter blocks within the budget (None if infeasible)."""
+        if layer.kind.is_depthwise:
+            return self._plan_depthwise(layer, budget_elems, prefetch)
+        return self._plan_dense(layer, budget_elems, prefetch)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _max_block(
+        budget_elems: int, prefetch: bool, fixed: int, per_n: int, n_max: int
+    ) -> int | None:
+        """Largest ``n ≤ n_max`` with ``factor·(fixed + n·per_n) ≤ budget``."""
+        factor = 2 if prefetch else 1
+        room = budget_elems // factor - fixed
+        if room < per_n or n_max < 1:
+            return None
+        return min(n_max, room // per_n)
+
+    def _plan_dense(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        window = layer.f_h * layer.padded_w * layer.in_c
+        per_filter = layer.filter_elems_per_filter + layer.out_w
+        # n ranges over [1, F#): n = F# would be Policy 1 (paper §3.2).
+        n = self._max_block(
+            budget_elems, prefetch, window, per_filter, layer.num_filters - 1
+        )
+        if n is None:
+            return None
+        x = ceil_div(layer.num_filters, n)
+        tiles = TileSizes(
+            ifmap=window,
+            filters=layer.filter_elems_per_filter * n,
+            ofmap=layer.out_w * n,
+        )
+        row_macs_per_filter = layer.macs // (layer.out_h * layer.num_filters)
+        cols = self.covered_cols(layer)
+        step_rows_load = self.row_step(layer) * cols * layer.in_c
+        fill = layer.f_h * cols * layer.in_c
+        groups: list[StepGroup] = []
+        for count, size in split_blocks(layer.num_filters, n):
+            groups.append(
+                StepGroup(
+                    count=count,
+                    ifmap=fill,
+                    filters=layer.filter_elems_per_filter * size,
+                    macs=row_macs_per_filter * size,
+                    store=layer.out_w * size,
+                )
+            )
+            if layer.out_h > 1:
+                groups.append(
+                    StepGroup(
+                        count=count * (layer.out_h - 1),
+                        ifmap=step_rows_load,
+                        macs=row_macs_per_filter * size,
+                        store=layer.out_w * size,
+                    )
+                )
+        schedule = LayerSchedule(groups=tuple(groups))
+        traffic = Traffic(
+            ifmap_reads=x * self.ifmap_pass_elems(layer),
+            filter_reads=layer.filter_elems,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            block_size=n,
+        )
+
+    def _plan_depthwise(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        # Block over channels: window, filter slice and ofmap row all scale
+        # with n, and each channel's ifmap is needed by its own filter only,
+        # so the ifmap streams exactly once regardless of n.
+        per_n = (
+            layer.f_h * layer.padded_w  # window slice
+            + layer.f_h * layer.f_w  # filter slice
+            + layer.out_w  # ofmap row slice
+        )
+        n = self._max_block(budget_elems, prefetch, 0, per_n, layer.in_c)
+        if n is None:
+            return None
+        cols = self.covered_cols(layer)
+        tiles = TileSizes(
+            ifmap=layer.f_h * layer.padded_w * n,
+            filters=layer.f_h * layer.f_w * n,
+            ofmap=layer.out_w * n,
+        )
+        groups: list[StepGroup] = []
+        for count, size in split_blocks(layer.in_c, n):
+            row_macs = layer.out_w * size * layer.f_h * layer.f_w
+            groups.append(
+                StepGroup(
+                    count=count,
+                    ifmap=layer.f_h * cols * size,
+                    filters=layer.f_h * layer.f_w * size,
+                    macs=row_macs,
+                    store=layer.out_w * size,
+                )
+            )
+            if layer.out_h > 1:
+                groups.append(
+                    StepGroup(
+                        count=count * (layer.out_h - 1),
+                        ifmap=self.row_step(layer) * cols * size,
+                        macs=row_macs,
+                        store=layer.out_w * size,
+                    )
+                )
+        schedule = LayerSchedule(groups=tuple(groups))
+        traffic = Traffic(
+            ifmap_reads=layer.in_c * self.ifmap_pass_elems_per_channel(layer),
+            filter_reads=layer.filter_elems,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            block_size=n,
+        )

@@ -1,0 +1,106 @@
+"""Policy 5 — partial per-channel reuse.
+
+Combines Policies 3 and 4: the ifmap streams as a single-channel window
+(``F_H × I_W``), the filters load in blocks of ``n`` filters with one
+channel per filter (``F_H × F_W × n``), and the ofmap holds the full
+spatial extent of those ``n`` channels (``O_H × O_W × n``), accumulating
+across input channels.  The ifmap re-streams ``x = ⌈F#/n⌉`` times while
+filters and ofmap move only once.
+
+Depth-wise layers block over channels (each channel pairs with its own 2-D
+filter), so ``x = 1`` — the single-transfer minimum the paper exploits on
+EfficientNetB0's DW layers.
+"""
+
+from __future__ import annotations
+
+from ..arch.units import ceil_div
+from ..nn.layer import LayerSpec
+from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
+from .p4 import PartialIfmapReuse, split_blocks
+
+
+class PartialPerChannelReuse(Policy):
+    """Policy 5: per-channel streaming against filter blocks of size ``n``."""
+
+    name = "p5"
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate per-channel streaming against filter blocks within the budget (None if infeasible)."""
+        if layer.kind.is_depthwise:
+            # Identical streaming structure to Policy 4's channel blocking;
+            # the distinction between P4 and P5 only exists for dense layers.
+            plan = PartialIfmapReuse()._plan_depthwise(layer, budget_elems, prefetch)
+            if plan is None:
+                return None
+            return CandidatePlan(
+                policy_name=self.name,
+                layer=layer,
+                tiles=plan.tiles,
+                traffic=plan.traffic,
+                schedule=plan.schedule,
+                prefetch=prefetch,
+                block_size=plan.block_size,
+            )
+        return self._plan_dense(layer, budget_elems, prefetch)
+
+    def _plan_dense(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        window = layer.f_h * layer.padded_w
+        per_filter = layer.f_h * layer.f_w + layer.out_h * layer.out_w
+        n = PartialIfmapReuse._max_block(
+            budget_elems, prefetch, window, per_filter, layer.num_filters - 1
+        )
+        if n is None:
+            return None
+        x = ceil_div(layer.num_filters, n)
+        tiles = TileSizes(
+            ifmap=window,
+            filters=layer.f_h * layer.f_w * n,
+            ofmap=layer.out_h * layer.out_w * n,
+        )
+        # Per filter block: loop input channels; per channel, load the
+        # filter-channel slice and slide the window down the ifmap.
+        row_macs_unit = layer.out_w * layer.f_h * layer.f_w
+        cols = self.covered_cols(layer)
+        row_load = self.row_step(layer) * cols
+        groups: list[StepGroup] = []
+        for count, size in split_blocks(layer.num_filters, n):
+            groups.append(
+                StepGroup(
+                    count=count * layer.in_c,
+                    ifmap=layer.f_h * cols,
+                    filters=layer.f_h * layer.f_w * size,
+                    macs=row_macs_unit * size,
+                )
+            )
+            if layer.out_h > 1:
+                groups.append(
+                    StepGroup(
+                        count=count * layer.in_c * (layer.out_h - 1),
+                        ifmap=row_load,
+                        macs=row_macs_unit * size,
+                    )
+                )
+            # Block completes: drain its ofmap channels.
+            groups.append(
+                StepGroup(count=count, store=layer.out_h * layer.out_w * size)
+            )
+        schedule = LayerSchedule(groups=tuple(groups))
+        traffic = Traffic(
+            ifmap_reads=x * layer.in_c * self.ifmap_pass_elems_per_channel(layer),
+            filter_reads=layer.filter_elems,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            block_size=n,
+        )

@@ -1,0 +1,42 @@
+"""Registry of the memory-management policies from paper §3.2/§3.3.
+
+Algorithm 1 line 1: ``policies = {intra-layer reuse, intra-layer reuse with
+prefetching, policy 1-5, policy 1-5 with prefetching}``.  The tiled
+fallback participates only when nothing else fits (paper §3.3).
+"""
+
+from __future__ import annotations
+
+from .base import Policy
+from .intra import IntraLayerReuse
+from .p1 import IfmapReuse
+from .p2 import FilterReuse
+from .p3 import PerChannelReuse
+from .p4 import PartialIfmapReuse
+from .p5 import PartialPerChannelReuse
+from .tiled import TiledFallback
+
+#: Named policies in paper order (intra, p1..p5).
+NAMED_POLICIES: tuple[Policy, ...] = (
+    IntraLayerReuse(),
+    IfmapReuse(),
+    FilterReuse(),
+    PerChannelReuse(),
+    PartialIfmapReuse(),
+    PartialPerChannelReuse(),
+)
+
+#: The fallback tile search (used when no named policy fits).
+FALLBACK_POLICY: Policy = TiledFallback()
+
+#: Policies whose plans transfer every element exactly once for dense
+#: layers (Table 3 columns).
+SINGLE_TRANSFER_POLICY_NAMES = ("intra", "p1", "p2", "p3")
+
+
+def policy_by_name(name: str) -> Policy:
+    """Look up a policy instance by its short name (including "tiled")."""
+    for policy in (*NAMED_POLICIES, FALLBACK_POLICY):
+        if policy.name == name:
+            return policy
+    raise KeyError(f"unknown policy {name!r}")

@@ -1,0 +1,174 @@
+"""Tile-search fallback for layers no named policy can fit.
+
+Algorithm 1's analyzer requires every layer to have at least one feasible
+plan: "If the condition ... is not true for any of the policies, then we
+have to search for appropriate tile sizes that will satisfy the condition.
+This may lead to an increased off-chip accesses" (paper §3.3).
+
+Policy 5 with ``n = 1`` is the smallest-footprint corner of the named
+policies, but it still needs a full spatial ofmap channel (``O_H × O_W``)
+resident.  The search tiles further along the access directions of the
+paper's Fig. 2a:
+
+* **height-wise** — ofmap row bands of ``o_t`` rows; band boundaries
+  re-load the ``F_H − S`` halo rows (the turquoise re-loads of Fig. 2a);
+* **width-wise** — ofmap column bands of ``w_t`` columns with the
+  symmetric ``F_W − S`` column halos; engaged only when height-wise
+  tiling alone cannot fit (width tiling never reduces traffic, it only
+  shrinks footprints);
+* **depth-wise** — one ifmap channel at a time with per-channel filter
+  slices (as in Policies 3/5), re-streamed once per (row band × column
+  band × filter block) since a band's partial sums must finish before it
+  drains.
+
+Filters additionally block into groups of ``n_f`` as in Policies 4/5.
+The search enumerates candidate ``(n_f, o_t[, w_t])`` combinations and
+returns the feasible plan with the fewest off-chip accesses, tie-broken
+toward fewer steps.
+"""
+
+from __future__ import annotations
+
+from ..arch.units import ceil_div
+from ..nn.layer import LayerSpec
+from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
+from .p4 import split_blocks
+
+
+def _candidate_values(limit: int) -> list[int]:
+    """1, 2, 4, ... powers of two up to ``limit``, plus ``limit`` itself."""
+    values = []
+    v = 1
+    while v < limit:
+        values.append(v)
+        v *= 2
+    values.append(limit)
+    return sorted(set(values))
+
+
+class TiledFallback(Policy):
+    """Tile search over filter blocks × ofmap row bands × column bands."""
+
+    name = "tiled"
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Search tile shapes; return the fewest-accesses feasible plan."""
+        best: CandidatePlan | None = None
+        best_key: tuple[int, int] | None = None
+        n_limit = layer.in_c if layer.kind.is_depthwise else layer.num_filters
+
+        def consider(plan: CandidatePlan | None) -> None:
+            nonlocal best, best_key
+            if plan is None:
+                return
+            key = (plan.traffic.total, plan.schedule.num_steps)
+            if best_key is None or key < best_key:
+                best, best_key = plan, key
+
+        for n_f in _candidate_values(n_limit):
+            for o_t in _candidate_values(layer.out_h):
+                consider(
+                    self._instantiate(
+                        layer, budget_elems, prefetch, n_f, o_t, layer.out_w
+                    )
+                )
+        if best is None:
+            # Height-wise tiling alone cannot fit: engage the width
+            # direction (Fig. 2a width-wise access with column halos).
+            for n_f in _candidate_values(n_limit):
+                for o_t in _candidate_values(layer.out_h):
+                    for w_t in _candidate_values(layer.out_w)[:-1]:
+                        consider(
+                            self._instantiate(
+                                layer, budget_elems, prefetch, n_f, o_t, w_t
+                            )
+                        )
+        return best
+
+    def _instantiate(
+        self,
+        layer: LayerSpec,
+        budget_elems: int,
+        prefetch: bool,
+        n_f: int,
+        o_t: int,
+        w_t: int,
+    ) -> CandidatePlan | None:
+        depthwise = layer.kind.is_depthwise
+        row_step = min(layer.stride, layer.f_h)
+        col_step = min(layer.stride, layer.f_w)
+        window_cols = min(layer.padded_w, layer.f_w + (w_t - 1) * col_step)
+        window = layer.f_h * window_cols * (n_f if depthwise else 1)
+        filter_slice = layer.f_h * layer.f_w * n_f
+        ofmap_tile = o_t * w_t * n_f
+        tiles = TileSizes(ifmap=window, filters=filter_slice, ofmap=ofmap_tile)
+        if not self._fits(tiles, budget_elems, prefetch):
+            return None
+
+        bands_h = ceil_div(layer.out_h, o_t)
+        bands_w = ceil_div(layer.out_w, w_t)
+        groups: list[StepGroup] = []
+        total_ifmap = 0
+        total_filters = 0
+        chan_iters = 1 if depthwise else layer.in_c
+        blocks = split_blocks(layer.in_c if depthwise else layer.num_filters, n_f)
+
+        for bh in range(bands_h):
+            rows = min(o_t, layer.out_h - bh * o_t)
+            covered_rows = min(layer.padded_h, layer.f_h + (rows - 1) * row_step)
+            for bw in range(bands_w):
+                cols = min(w_t, layer.out_w - bw * w_t)
+                covered_cols = min(
+                    layer.padded_w, layer.f_w + (cols - 1) * col_step
+                )
+                band_elems = covered_rows * covered_cols
+                out_elems = rows * cols
+                for count, size in blocks:
+                    macs = out_elems * size * layer.f_h * layer.f_w
+                    if depthwise:
+                        groups.append(
+                            StepGroup(
+                                count=count,
+                                ifmap=band_elems * size,
+                                filters=layer.f_h * layer.f_w * size,
+                                macs=macs,
+                                store=out_elems * size,
+                            )
+                        )
+                        total_ifmap += count * band_elems * size
+                        total_filters += count * layer.f_h * layer.f_w * size
+                    else:
+                        groups.append(
+                            StepGroup(
+                                count=count * chan_iters,
+                                ifmap=band_elems,
+                                filters=layer.f_h * layer.f_w * size,
+                                macs=macs,
+                            )
+                        )
+                        groups.append(
+                            StepGroup(count=count, store=out_elems * size)
+                        )
+                        total_ifmap += count * chan_iters * band_elems
+                        total_filters += (
+                            count * chan_iters * layer.f_h * layer.f_w * size
+                        )
+
+        traffic = Traffic(
+            ifmap_reads=total_ifmap,
+            filter_reads=total_filters,
+            ofmap_writes=layer.ofmap_elems,
+        )
+        schedule = LayerSchedule(groups=tuple(groups))
+        return CandidatePlan(
+            policy_name=self.name,
+            layer=layer,
+            tiles=tiles,
+            traffic=traffic,
+            schedule=schedule,
+            prefetch=prefetch,
+            block_size=n_f,
+            tile_shape=(o_t, w_t),
+        )

@@ -1,0 +1,6 @@
+"""Result-table and chart rendering helpers."""
+
+from .chart import BarChart, bar_chart, sparkline
+from .table import Table, series_table
+
+__all__ = ["Table", "series_table", "BarChart", "bar_chart", "sparkline"]

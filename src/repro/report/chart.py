@@ -1,0 +1,93 @@
+"""ASCII chart rendering for terminal output.
+
+The experiment tables carry the numbers; these helpers make the *shapes*
+of the paper's figures visible in a terminal — grouped bars for Fig. 5/8
+style comparisons, simple line-ish series for sweeps — without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+#: Glyphs cycled across series in grouped charts.
+_GLYPHS = "#*+ox%@"
+
+
+@dataclass
+class BarChart:
+    """A horizontal bar chart with optionally grouped series."""
+
+    title: str
+    width: int = 50
+    #: (group label, series label, value) triples in insertion order.
+    entries: list[tuple[str, str, float]] = field(default_factory=list)
+
+    def add(self, group: str, series: str, value: float) -> None:
+        """Append one bar."""
+        if value < 0:
+            raise ValueError(f"bar values must be non-negative, got {value}")
+        self.entries.append((group, series, value))
+
+    def render(self) -> str:
+        """Monospace rendering with a glyph legend."""
+        if not self.entries:
+            return f"{self.title}\n(no data)"
+        peak = max(value for _, _, value in self.entries) or 1.0
+        series_order: list[str] = []
+        for _, series, _ in self.entries:
+            if series not in series_order:
+                series_order.append(series)
+        glyph = {
+            series: _GLYPHS[i % len(_GLYPHS)] for i, series in enumerate(series_order)
+        }
+        label_width = max(
+            len(f"{group} {series}") for group, series, _ in self.entries
+        )
+        lines = [self.title, "=" * len(self.title)]
+        last_group = None
+        for group, series, value in self.entries:
+            if group != last_group and last_group is not None:
+                lines.append("")
+            last_group = group
+            bar = glyph[series] * max(1, round(value / peak * self.width))
+            label = f"{group} {series}".ljust(label_width)
+            lines.append(f"{label} |{bar} {value:g}")
+        legend = "  ".join(f"{glyph[s]}={s}" for s in series_order)
+        lines.append("")
+        lines.append(f"legend: {legend}")
+        return "\n".join(lines)
+
+
+def bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 50,
+) -> BarChart:
+    """Build a grouped bar chart from parallel series."""
+    chart = BarChart(title=title, width=width)
+    for i, group in enumerate(groups):
+        for name, values in series.items():
+            if len(values) != len(groups):
+                raise ValueError(
+                    f"series {name!r} has {len(values)} values for "
+                    f"{len(groups)} groups"
+                )
+            chart.add(str(group), name, values[i])
+    return chart
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A one-line trend glyph string (block characters)."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    picked = list(values)
+    if width is not None and len(picked) > width:
+        stride = len(picked) / width
+        picked = [picked[int(i * stride)] for i in range(width)]
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in picked)

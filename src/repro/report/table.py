@@ -1,0 +1,78 @@
+"""Plain-text and CSV rendering of result tables.
+
+Every experiment in :mod:`repro.experiments` reduces to one or more tables
+whose rows mirror the paper's tables and figure series.  This renderer
+keeps the output dependency-free (monospace alignment, CSV export) so the
+benchmark harness can print paper-vs-measured comparisons directly.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table of stringifiable cells."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (arity-checked against the headers)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.title}: row has {len(cells)} cells for "
+                f"{len(self.headers)} headers"
+            )
+        self.rows.append(list(cells))
+
+    def _cell(self, value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    def render(self) -> str:
+        """Monospace-aligned text rendering."""
+        cells = [[self._cell(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """CSV rendering (headers + rows)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows([[self._cell(v) for v in row] for row in self.rows])
+        return buf.getvalue()
+
+    def save_csv(self, path: str | Path) -> None:
+        """Write the CSV rendering to a file."""
+        Path(path).write_text(self.to_csv())
+
+
+def series_table(
+    title: str,
+    index_name: str,
+    index: Sequence[Any],
+    series: dict[str, Sequence[Any]],
+) -> Table:
+    """Build a table from named series sharing an index (figure data)."""
+    table = Table(title=title, headers=[index_name, *series])
+    for i, idx in enumerate(index):
+        table.add_row(idx, *(values[i] for values in series.values()))
+    return table

@@ -1,0 +1,11 @@
+"""Multi-tenant runtime scheduling (extension)."""
+
+from .scheduler import (
+    Discipline,
+    Request,
+    RequestOutcome,
+    ScheduleResult,
+    schedule,
+)
+
+__all__ = ["Discipline", "Request", "RequestOutcome", "ScheduleResult", "schedule"]

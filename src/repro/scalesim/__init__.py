@@ -1,0 +1,38 @@
+"""SCALE-Sim-style baseline: separate-buffer systolic-array accelerator."""
+
+from .config import Dataflow, ScaleSimConfig
+from .dataflow import compute_cycles, utilization
+from .memory import LayerTraffic, layer_traffic
+from .presets import PARTITIONS, baseline_config, baseline_configs
+from .simulator import LayerResult, SimulationResult, simulate
+from .trace import TraceRecord, generate_dram_trace, trace_to_csv
+from .topology import (
+    GemmWorkload,
+    lower_layer,
+    lower_model,
+    model_to_topology_csv,
+    save_topology,
+)
+
+__all__ = [
+    "Dataflow",
+    "ScaleSimConfig",
+    "compute_cycles",
+    "utilization",
+    "LayerTraffic",
+    "layer_traffic",
+    "PARTITIONS",
+    "baseline_config",
+    "baseline_configs",
+    "GemmWorkload",
+    "lower_layer",
+    "lower_model",
+    "model_to_topology_csv",
+    "save_topology",
+    "LayerResult",
+    "SimulationResult",
+    "simulate",
+    "TraceRecord",
+    "generate_dram_trace",
+    "trace_to_csv",
+]

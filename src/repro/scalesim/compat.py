@@ -1,0 +1,117 @@
+"""SCALE-Sim file-format compatibility.
+
+SCALE-Sim configures runs through INI-style ``.cfg`` files and describes
+workloads through topology CSVs.  This module reads and writes both so
+configurations can move between the original tool and this reproduction:
+
+* :func:`load_scalesim_cfg` / :func:`save_scalesim_cfg` — the
+  ``[architecture_presets]`` section (array dims, buffer sizes in kB,
+  dataflow);
+* :func:`load_topology_csv` — topology CSV rows back into
+  :class:`~repro.nn.model.Model` (the inverse of
+  :func:`~repro.scalesim.topology.model_to_topology_csv`); layer kinds
+  are inferred (1×1 → PW, ``num_filters == 1`` with channels → DW,
+  1×1 spatial input → FC, else CV).
+"""
+
+from __future__ import annotations
+
+import configparser
+from pathlib import Path
+
+from ..arch.units import kib
+from ..nn.layer import LayerKind, LayerSpec
+from ..nn.model import Model, make_model
+from .config import Dataflow, ScaleSimConfig
+
+_SECTION = "architecture_presets"
+
+
+def save_scalesim_cfg(config: ScaleSimConfig, path: str | Path, run_name: str = "repro") -> None:
+    """Write a SCALE-Sim-style .cfg file."""
+    parser = configparser.ConfigParser()
+    parser["general"] = {"run_name": run_name}
+    parser[_SECTION] = {
+        "ArrayHeight": str(config.array_rows),
+        "ArrayWidth": str(config.array_cols),
+        "IfmapSramSzkB": str(config.ifmap_buf_bytes // kib(1)),
+        "FilterSramSzkB": str(config.filter_buf_bytes // kib(1)),
+        "OfmapSramSzkB": str(config.ofmap_buf_bytes // kib(1)),
+        "Dataflow": config.dataflow.value,
+    }
+    with open(path, "w") as fh:
+        parser.write(fh)
+
+
+def load_scalesim_cfg(path: str | Path, *, data_width_bits: int = 8) -> ScaleSimConfig:
+    """Read a SCALE-Sim-style .cfg file into a :class:`ScaleSimConfig`."""
+    parser = configparser.ConfigParser()
+    read = parser.read(path)
+    if not read:
+        raise FileNotFoundError(path)
+    if _SECTION not in parser:
+        raise ValueError(f"{path}: missing [{_SECTION}] section")
+    section = parser[_SECTION]
+    try:
+        return ScaleSimConfig(
+            array_rows=section.getint("ArrayHeight"),
+            array_cols=section.getint("ArrayWidth"),
+            ifmap_buf_bytes=kib(section.getint("IfmapSramSzkB")),
+            filter_buf_bytes=kib(section.getint("FilterSramSzkB")),
+            ofmap_buf_bytes=kib(section.getint("OfmapSramSzkB")),
+            dataflow=Dataflow(section.get("Dataflow", "os").lower()),
+            data_width_bits=data_width_bits,
+        )
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ValueError(f"{path}: malformed architecture presets: {exc}") from exc
+
+
+def _infer_kind(
+    in_h: int, in_w: int, f_h: int, f_w: int, channels: int, num_filters: int
+) -> LayerKind:
+    if (in_h, in_w) == (1, 1) and (f_h, f_w) == (1, 1):
+        return LayerKind.FC
+    if num_filters == 1 and channels > 1 and f_h > 1:
+        return LayerKind.DEPTHWISE
+    if (f_h, f_w) == (1, 1):
+        return LayerKind.POINTWISE
+    return LayerKind.CONV
+
+
+def load_topology_csv(
+    path: str | Path, model_name: str | None = None, *, same_padding: bool = True
+) -> Model:
+    """Read a SCALE-Sim topology CSV into a :class:`Model`.
+
+    SCALE-Sim topologies carry no padding column; ``same_padding`` applies
+    ``(F−1)//2`` (SCALE-Sim itself computes valid convolutions, so pass
+    ``False`` to reproduce that instead).
+    """
+    path = Path(path)
+    lines = [line.strip() for line in path.read_text().splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"{path}: empty topology file")
+    layers: list[LayerSpec] = []
+    for line in lines[1:]:  # skip header
+        fields = [f.strip() for f in line.rstrip(",").split(",")]
+        if len(fields) < 8:
+            raise ValueError(f"{path}: malformed row {line!r}")
+        name = fields[0]
+        in_h, in_w, f_h, f_w, channels, num_filters, stride = map(int, fields[1:8])
+        kind = _infer_kind(in_h, in_w, f_h, f_w, channels, num_filters)
+        pad = (f_h - 1) // 2 if same_padding else 0
+        layers.append(
+            LayerSpec(
+                name=name,
+                kind=kind,
+                in_h=in_h,
+                in_w=in_w,
+                in_c=channels,
+                f_h=f_h,
+                f_w=f_w,
+                num_filters=num_filters,
+                stride=stride,
+                padding=pad,
+            )
+        )
+    return make_model(model_name or path.stem, layers)

@@ -1,0 +1,58 @@
+"""The three baseline configurations of paper §4.
+
+Each splits a total on-chip capacity into a fixed 4 kB ofmap buffer and an
+ifmap/filter partition of 25-75 %, 50-50 % or 75-25 %.
+"""
+
+from __future__ import annotations
+
+from ..arch.units import kib
+from .config import Dataflow, ScaleSimConfig
+
+#: Partition names in paper order: (label, ifmap share, filter share).
+PARTITIONS = (
+    ("sa_25_75", 0.25, 0.75),
+    ("sa_50_50", 0.50, 0.50),
+    ("sa_75_25", 0.75, 0.25),
+)
+
+
+def baseline_config(
+    total_bytes: int,
+    ifmap_share: float,
+    *,
+    data_width_bits: int = 8,
+    array_rows: int = 16,
+    array_cols: int = 16,
+) -> ScaleSimConfig:
+    """One baseline configuration for a total SRAM capacity.
+
+    The 4 kB ofmap buffer comes off the top (paper §4); the remainder is
+    split ``ifmap_share`` / ``1 − ifmap_share``.
+    """
+    if not 0.0 < ifmap_share < 1.0:
+        raise ValueError(f"ifmap_share must be in (0, 1), got {ifmap_share}")
+    ofmap = kib(4)
+    if total_bytes <= ofmap:
+        raise ValueError(f"total_bytes must exceed the {ofmap}-byte ofmap buffer")
+    rest = total_bytes - ofmap
+    ifmap = int(rest * ifmap_share)
+    return ScaleSimConfig(
+        array_rows=array_rows,
+        array_cols=array_cols,
+        dataflow=Dataflow.OS,
+        ifmap_buf_bytes=ifmap,
+        filter_buf_bytes=rest - ifmap,
+        ofmap_buf_bytes=ofmap,
+        data_width_bits=data_width_bits,
+    )
+
+
+def baseline_configs(
+    total_bytes: int, *, data_width_bits: int = 8
+) -> dict[str, ScaleSimConfig]:
+    """The paper's three fixed-partition baselines for one total capacity."""
+    return {
+        label: baseline_config(total_bytes, share, data_width_bits=data_width_bits)
+        for label, share, _ in PARTITIONS
+    }

@@ -1,0 +1,107 @@
+"""The baseline simulator: compute cycles + DRAM traffic per model.
+
+Mirrors how the paper uses SCALE-Sim (§4): the latency is the zero-stall
+compute time (independent of buffer sizes, hence the single baseline bar
+per model in Fig. 8) and the off-chip access volume depends on the buffer
+partition (the three ``sa_*`` bars of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.model import Model
+from .config import ScaleSimConfig
+from .dataflow import compute_cycles, utilization
+from .memory import LayerTraffic, layer_traffic
+from .topology import GemmWorkload, lower_model
+
+
+@dataclass(frozen=True)
+class LayerResult:
+    """Baseline simulation result for one layer."""
+
+    workload: GemmWorkload
+    compute_cycles: int
+    traffic: LayerTraffic
+    utilization: float
+
+    @property
+    def name(self) -> str:
+        return self.workload.name
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Baseline simulation result for a whole model."""
+
+    model_name: str
+    config: ScaleSimConfig
+    layers: tuple[LayerResult, ...]
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(layer.compute_cycles for layer in self.layers)
+
+    def total_cycles_with_stalls(self, bandwidth_elems_per_cycle: float) -> float:
+        """Latency when DRAM stalls are charged (the paper's baseline is
+        simulated "for zero stalls"; this quantifies what that assumption
+        hides).  Per layer the array cannot finish before its DRAM traffic
+        drains: ``max(compute, traffic / bandwidth)``."""
+        if bandwidth_elems_per_cycle <= 0:
+            raise ValueError("bandwidth must be positive")
+        return sum(
+            max(
+                layer.compute_cycles,
+                layer.traffic.total / bandwidth_elems_per_cycle,
+            )
+            for layer in self.layers
+        )
+
+    @property
+    def total_traffic_elems(self) -> int:
+        return sum(layer.traffic.total for layer in self.layers)
+
+    @property
+    def total_traffic_bytes(self) -> int:
+        return self.total_traffic_elems * self.config.bytes_per_elem
+
+    @property
+    def total_read_bytes(self) -> int:
+        return sum(layer.traffic.reads for layer in self.layers) * self.config.bytes_per_elem
+
+    @property
+    def total_write_bytes(self) -> int:
+        return (
+            sum(layer.traffic.ofmap_writes for layer in self.layers)
+            * self.config.bytes_per_elem
+        )
+
+    @property
+    def mean_utilization(self) -> float:
+        total_macs = sum(layer.workload.macs for layer in self.layers)
+        return total_macs / (
+            self.total_cycles * self.config.array_rows * self.config.array_cols
+        )
+
+    @property
+    def average_dram_bandwidth_elems_per_cycle(self) -> float:
+        """Average DRAM elements moved per compute cycle (paper §4 uses the
+        maximum of this across configurations to set the proposed design's
+        bandwidth)."""
+        return self.total_traffic_elems / self.total_cycles if self.total_cycles else 0.0
+
+
+def simulate(model: Model, config: ScaleSimConfig) -> SimulationResult:
+    """Run the analytical baseline over a model."""
+    layers = []
+    for workload in lower_model(model):
+        layers.append(
+            LayerResult(
+                workload=workload,
+                compute_cycles=compute_cycles(workload, config),
+                traffic=layer_traffic(workload, config),
+                utilization=utilization(workload, config),
+            )
+        )
+    return SimulationResult(model_name=model.name, config=config, layers=tuple(layers))

@@ -1,0 +1,104 @@
+"""Layer → GEMM workload conversion (SCALE-Sim topology semantics).
+
+SCALE-Sim lowers a convolution to the im2col GEMM
+
+    (SR × K) · (K × SC) → (SR × SC)
+
+with ``SR = O_H·O_W`` ofmap pixels, ``SC = F#`` filters and
+``K = F_H·F_W·C_I`` the dot-product length.  The *unique* operand
+footprints differ from the GEMM matrix sizes because im2col rows overlap:
+the unique ifmap is ``I_H·I_W·C_I`` (the baseline does not count padding —
+paper §5.1 notes our scheme does and the baseline does not).
+
+Depth-wise layers lower to ``C_I`` independent single-filter GEMMs, which
+we represent as one workload with ``SC = C_I``, ``K = F_H·F_W`` and
+*channel-private* ifmap (no reuse across columns).
+
+This module can also emit/read SCALE-Sim-style topology CSV rows so
+externally generated topologies can be simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..nn.layer import LayerKind, LayerSpec
+from ..nn.model import Model
+
+
+@dataclass(frozen=True)
+class GemmWorkload:
+    """One layer lowered to an im2col GEMM with unique-footprint info."""
+
+    name: str
+    sr: int  #: GEMM rows = ofmap pixels
+    sc: int  #: GEMM cols = filters (or channels for DW)
+    k: int  #: dot-product length
+    ifmap_unique: int  #: unique ifmap elements (unpadded)
+    filter_unique: int  #: unique filter elements
+    ofmap_unique: int  #: unique ofmap elements
+    #: True when ifmap columns are channel-private (depth-wise): no reuse
+    #: of ifmap data across GEMM columns exists to begin with.
+    channel_private: bool = False
+
+    @property
+    def macs(self) -> int:
+        return self.sr * self.sc * self.k
+
+
+def lower_layer(layer: LayerSpec) -> GemmWorkload:
+    """Lower one layer to its GEMM workload."""
+    if layer.kind is LayerKind.DEPTHWISE:
+        return GemmWorkload(
+            name=layer.name,
+            sr=layer.out_h * layer.out_w,
+            sc=layer.in_c,
+            k=layer.f_h * layer.f_w,
+            ifmap_unique=layer.ifmap_elems,
+            filter_unique=layer.filter_elems,
+            ofmap_unique=layer.ofmap_elems,
+            channel_private=True,
+        )
+    return GemmWorkload(
+        name=layer.name,
+        sr=layer.out_h * layer.out_w,
+        sc=layer.num_filters,
+        k=layer.f_h * layer.f_w * layer.in_c,
+        ifmap_unique=layer.ifmap_elems,
+        filter_unique=layer.filter_elems,
+        ofmap_unique=layer.ofmap_elems,
+    )
+
+
+def lower_model(model: Model) -> list[GemmWorkload]:
+    """Lower a whole model in execution order."""
+    return [lower_layer(layer) for layer in model.layers]
+
+
+# ----------------------------------------------------------------------
+# SCALE-Sim-style topology CSV
+# ----------------------------------------------------------------------
+
+_CSV_HEADER = (
+    "Layer name, IFMAP Height, IFMAP Width, Filter Height, Filter Width, "
+    "Channels, Num Filter, Strides,"
+)
+
+
+def model_to_topology_csv(model: Model) -> str:
+    """Serialize a model in SCALE-Sim's topology CSV format."""
+    lines = [_CSV_HEADER]
+    for layer in model.layers:
+        lines.append(
+            f"{layer.name}, {layer.in_h}, {layer.in_w}, {layer.f_h}, "
+            f"{layer.f_w}, {layer.in_c}, "
+            f"{1 if layer.kind is LayerKind.DEPTHWISE else layer.num_filters}, "
+            f"{layer.stride},"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def save_topology(model: Model, path: str | Path) -> None:
+    """Write the SCALE-Sim topology CSV for a model."""
+    Path(path).write_text(model_to_topology_csv(model))

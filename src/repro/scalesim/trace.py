@@ -1,0 +1,168 @@
+"""DRAM address-trace generation for the baseline (SCALE-Sim's signature
+output).
+
+SCALE-Sim's distinguishing feature over analytical models is that it
+emits cycle-stamped DRAM request traces.  This module reproduces that
+capability for the output-stationary fold schedule: one
+:class:`TraceRecord` per (cycle, address, read/write) DRAM transaction,
+consistent *by construction* with the pinned-prefix traffic model in
+:mod:`repro.scalesim.memory` — the test suite asserts the per-operand
+record counts equal :func:`layer_traffic` exactly.
+
+Address map (element-granularity, one operand space per tensor):
+
+* ifmap:   ``[0, I)``
+* filters: ``[I, I + F)``
+* ofmap:   ``[I + F, I + F + O)``
+
+Schedule: row folds outer, column folds inner.  The first pass over an
+operand emits all its addresses; afterwards only the un-pinned suffix
+re-streams (filters once per row fold, ifmap once per column fold).
+Ofmap tiles are written once when their fold completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..arch.units import ceil_div
+from .config import ScaleSimConfig
+from .dataflow import compute_cycles
+from .memory import layer_traffic
+from .topology import GemmWorkload
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One DRAM transaction."""
+
+    cycle: int
+    address: int
+    is_write: bool
+    operand: str  #: "ifmap", "filter" or "ofmap"
+
+
+class TraceLimitExceeded(RuntimeError):
+    """The workload would emit more records than the caller allowed."""
+
+
+def _check_limit(emitted: int, limit: int | None) -> None:
+    if limit is not None and emitted > limit:
+        raise TraceLimitExceeded(
+            f"trace exceeds max_records={limit}; use a smaller layer "
+            f"or raise the cap"
+        )
+
+
+def generate_dram_trace(
+    workload: GemmWorkload,
+    config: ScaleSimConfig,
+    max_records: int | None = 2_000_000,
+) -> Iterator[TraceRecord]:
+    """Yield the DRAM transactions of one layer in schedule order."""
+    traffic = layer_traffic(workload, config)
+    ifmap_base = 0
+    filter_base = workload.ifmap_unique
+    ofmap_base = filter_base + workload.filter_unique
+
+    row_folds = ceil_div(workload.sr, config.array_rows)
+    col_folds = ceil_div(workload.sc, config.array_cols)
+    per_fold = compute_cycles(workload, config) // (row_folds * col_folds)
+
+    bi = config.ifmap_working_elems
+    bf = config.filter_working_elems
+    ifmap_pinned = min(workload.ifmap_unique, bi)
+    filter_pinned = min(workload.filter_unique, bf)
+
+    emitted = 0
+    rows_per_fold = ceil_div(workload.sr, row_folds)
+    for r in range(row_folds):
+        for c in range(col_folds):
+            cycle = (r * col_folds + c) * per_fold
+
+            if workload.channel_private:
+                # Depth-wise: each fold touches only its private slices,
+                # every element exactly once.
+                if r == 0:
+                    span0 = c * workload.ifmap_unique // col_folds
+                    span1 = (c + 1) * workload.ifmap_unique // col_folds
+                    for address in range(ifmap_base + span0, ifmap_base + span1):
+                        yield TraceRecord(cycle, address, False, "ifmap")
+                        emitted += 1
+                    f0 = c * workload.filter_unique // col_folds
+                    f1 = (c + 1) * workload.filter_unique // col_folds
+                    for address in range(filter_base + f0, filter_base + f1):
+                        yield TraceRecord(cycle, address, False, "filter")
+                        emitted += 1
+                    _check_limit(emitted, max_records)
+            else:
+                # Ifmap: the whole operand on the first pass (r == 0,
+                # c == 0 of the first row fold covers the pinned prefix;
+                # the schedule streams unique data per row fold), then the
+                # un-pinned suffix once per extra column fold.
+                if r == 0 and c == 0:
+                    for address in range(ifmap_base, ifmap_base + workload.ifmap_unique):
+                        yield TraceRecord(cycle, address, False, "ifmap")
+                        emitted += 1
+                elif r == 0 and ifmap_pinned < workload.ifmap_unique:
+                    for address in range(
+                        ifmap_base + ifmap_pinned, ifmap_base + workload.ifmap_unique
+                    ):
+                        yield TraceRecord(cycle, address, False, "ifmap")
+                        emitted += 1
+                _check_limit(emitted, max_records)
+
+                # Filters: all on the first row fold, un-pinned suffix on
+                # later row folds (emitted on each fold's first column).
+                if r == 0 and c == 0:
+                    for address in range(
+                        filter_base, filter_base + workload.filter_unique
+                    ):
+                        yield TraceRecord(cycle, address, False, "filter")
+                        emitted += 1
+                elif c == 0 and filter_pinned < workload.filter_unique:
+                    for address in range(
+                        filter_base + filter_pinned,
+                        filter_base + workload.filter_unique,
+                    ):
+                        yield TraceRecord(cycle, address, False, "filter")
+                        emitted += 1
+                _check_limit(emitted, max_records)
+
+        # Output stationary: the fold row's ofmap pixels drain once all
+        # its column folds are done.
+        drain_cycle = ((r + 1) * col_folds) * per_fold
+        pixel0 = r * rows_per_fold
+        pixel1 = min(workload.sr, (r + 1) * rows_per_fold)
+        for pixel in range(pixel0, pixel1):
+            for col in range(workload.sc):
+                address = ofmap_base + pixel * workload.sc + col
+                yield TraceRecord(drain_cycle, address, True, "ofmap")
+                emitted += 1
+        _check_limit(emitted, max_records)
+
+    # Consistency guard: the generator must agree with the traffic model.
+    expected = traffic.total
+    if emitted != expected:  # pragma: no cover - defensive
+        raise AssertionError(
+            f"trace emitted {emitted} records, traffic model says {expected}"
+        )
+
+
+def trace_to_csv(records: Iterator[TraceRecord], path: str | Path) -> int:
+    """Write records in SCALE-Sim's ``cycle, address`` CSV style.
+
+    Returns the number of records written.
+    """
+    count = 0
+    with open(path, "w") as fh:
+        fh.write("cycle, address, rw, operand\n")
+        for record in records:
+            fh.write(
+                f"{record.cycle}, {record.address}, "
+                f"{'W' if record.is_write else 'R'}, {record.operand}\n"
+            )
+            count += 1
+    return count

@@ -1,0 +1,50 @@
+"""Step-level, numerical and address-level validation simulators."""
+
+from .engine import (
+    LayerSimResult,
+    PlanSimResult,
+    Step,
+    TraceEvent,
+    expand_schedule,
+    simulate_assignment,
+    simulate_plan,
+)
+from .functional import (
+    DramCounter,
+    pad_ifmap,
+    random_tensors,
+    run_layer_direct,
+    run_layer_with_plan,
+)
+from .glb import (
+    AllocationError,
+    LayerLayout,
+    Region,
+    Side,
+    layout_assignment,
+    layout_plan,
+)
+from .validate import CrossCheck, crosscheck_plan
+
+__all__ = [
+    "Step",
+    "TraceEvent",
+    "LayerSimResult",
+    "PlanSimResult",
+    "expand_schedule",
+    "simulate_assignment",
+    "simulate_plan",
+    "CrossCheck",
+    "crosscheck_plan",
+    "DramCounter",
+    "run_layer_direct",
+    "run_layer_with_plan",
+    "random_tensors",
+    "pad_ifmap",
+    "Region",
+    "Side",
+    "LayerLayout",
+    "AllocationError",
+    "layout_assignment",
+    "layout_plan",
+]

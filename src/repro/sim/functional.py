@@ -1,0 +1,437 @@
+"""Functional (numerical) execution of policy tile schedules.
+
+The estimators count what a policy *would* transfer; this module actually
+**executes** each policy's tiling on real tensors with NumPy and checks
+two things at once:
+
+1. **functional correctness** — streaming the layer through the policy's
+   windows/blocks/channels produces exactly the ofmap a direct
+   convolution produces, so the schedules are real algorithms, not just
+   bookkeeping;
+2. **traffic fidelity** — every off-chip fetch/write performed during
+   execution is counted through a :class:`DramCounter`, and the counts
+   must equal the plan's declared :class:`~repro.policies.base.Traffic`
+   element by element.
+
+Tensor layout: ifmap ``(H, W, C)``; dense filters ``(F#, F_H, F_W, C)``;
+depth-wise filters ``(F_H, F_W, C)`` (one 2-D filter per channel);
+ofmap ``(O_H, O_W, C_O)``.  All math is float64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.layer import LayerSpec
+from ..policies.base import CandidatePlan
+from ..policies.p4 import split_blocks
+
+
+@dataclass
+class DramCounter:
+    """Counts off-chip elements moved during functional execution."""
+
+    ifmap_reads: int = 0
+    filter_reads: int = 0
+    ofmap_writes: int = 0
+    ofmap_spills: int = 0
+
+    def matches(self, plan: CandidatePlan) -> bool:
+        """Whether the counted traffic equals the plan's declaration."""
+        t = plan.traffic
+        return (
+            self.ifmap_reads == t.ifmap_reads
+            and self.filter_reads == t.filter_reads
+            and self.ofmap_writes == t.ofmap_writes
+            and self.ofmap_spills == t.ofmap_spills
+        )
+
+    def mismatch_report(self, plan: CandidatePlan) -> str:
+        """Human-readable counted-vs-declared comparison."""
+        t = plan.traffic
+        return (
+            f"ifmap {self.ifmap_reads} vs {t.ifmap_reads}, "
+            f"filters {self.filter_reads} vs {t.filter_reads}, "
+            f"ofmap {self.ofmap_writes} vs {t.ofmap_writes}, "
+            f"spills {self.ofmap_spills} vs {t.ofmap_spills}"
+        )
+
+
+@dataclass
+class _Dram:
+    """Off-chip memory holding the padded ifmap and the filters."""
+
+    layer: LayerSpec
+    padded_ifmap: np.ndarray  #: (padded_h, padded_w, C)
+    filters: np.ndarray
+    counter: DramCounter = field(default_factory=DramCounter)
+
+    def __post_init__(self) -> None:
+        # Touched columns of a full-width sliding-window pass: strided
+        # layers with S > F_W skip columns, which fetches must not count
+        # (matches Policy.covered_cols).
+        layer = self.layer
+        self.tcols = _touched(0, layer.out_w, layer.f_w, layer.stride)
+
+    def fetch_rows(self, row0: int, row1: int, channels: slice | None = None) -> np.ndarray:
+        """Fetch the touched columns of padded rows [row0, row1)."""
+        block = self.padded_ifmap[row0:row1]
+        if channels is not None:
+            block = block[:, :, channels]
+        nchans = block.shape[2] if block.ndim == 3 else 1
+        self.counter.ifmap_reads += block.shape[0] * len(self.tcols) * nchans
+        return block
+
+    def fetch_grid(self, rows, cols, channels: slice | None = None) -> None:
+        """Fetch (count) the submatrix at the given row/col index lists."""
+        block = self.padded_ifmap[np.ix_(rows, cols)]
+        if channels is not None:
+            block = block[:, :, channels]
+        self.counter.ifmap_reads += block.size
+
+    def fetch_filters(self, selector) -> np.ndarray:
+        """Fetch a filter sub-tensor (numpy index into the filter array)."""
+        block = self.filters[selector]
+        self.counter.filter_reads += block.size
+        return block
+
+    def write_ofmap(self, values: np.ndarray) -> None:
+        self.counter.ofmap_writes += values.size
+
+    def spill(self, values: np.ndarray) -> None:
+        self.counter.ofmap_spills += values.size
+
+
+def pad_ifmap(layer: LayerSpec, ifmap: np.ndarray) -> np.ndarray:
+    """Zero-pad an (H, W, C) ifmap per the layer's padding."""
+    p = layer.padding
+    return np.pad(ifmap, ((p, p), (p, p), (0, 0)))
+
+
+def random_tensors(
+    layer: LayerSpec, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random ifmap/filters with the layer's shapes."""
+    ifmap = rng.standard_normal((layer.in_h, layer.in_w, layer.in_c))
+    if layer.kind.is_depthwise:
+        filters = rng.standard_normal((layer.f_h, layer.f_w, layer.in_c))
+    else:
+        filters = rng.standard_normal(
+            (layer.num_filters, layer.f_h, layer.f_w, layer.in_c)
+        )
+    return ifmap, filters
+
+
+def run_layer_direct(
+    layer: LayerSpec, ifmap: np.ndarray, filters: np.ndarray
+) -> np.ndarray:
+    """Reference convolution (no tiling)."""
+    padded = pad_ifmap(layer, ifmap)
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    s = layer.stride
+    for oy in range(layer.out_h):
+        for ox in range(layer.out_w):
+            window = padded[oy * s : oy * s + layer.f_h, ox * s : ox * s + layer.f_w]
+            if layer.kind.is_depthwise:
+                out[oy, ox] = np.einsum("hwc,hwc->c", window, filters)
+            else:
+                out[oy, ox] = np.einsum("hwc,nhwc->n", window, filters)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Row-window helpers
+# ----------------------------------------------------------------------
+
+
+def _row_window_plan(layer: LayerSpec) -> list[tuple[int, int, int]]:
+    """Per output row: (fetch_start, fetch_end, window_start).
+
+    The sliding window holds ``F_H`` padded rows; step ``i`` fetches the
+    rows not already resident from step ``i-1`` (``min(S, F_H)`` of them,
+    matching :meth:`Policy.row_step`).
+    """
+    plan = []
+    held_end = 0  # exclusive end of rows currently held
+    for oy in range(layer.out_h):
+        need0 = oy * layer.stride
+        need1 = need0 + layer.f_h
+        fetch0 = max(need0, held_end)
+        plan.append((fetch0, need1, need0))
+        held_end = need1
+    return plan
+
+
+def _fetch_pass(dram: _Dram, layer: LayerSpec, channels: slice | None = None) -> None:
+    """Fetch (count) one height-wise pass over the touched ifmap rows.
+
+    Walks the row-window plan so strided layers with ``S > F_H`` fetch only
+    the rows the windows actually touch.
+    """
+    for f0, f1, _ in _row_window_plan(layer):
+        dram.fetch_rows(f0, f1, channels=channels)
+
+
+def _conv_row(
+    window: np.ndarray, filters: np.ndarray, layer: LayerSpec
+) -> np.ndarray:
+    """One ofmap row from an (F_H, padded_w, C?) window.
+
+    ``filters`` is (n, F_H, F_W, C) for dense, (F_H, F_W, C') for DW.
+    """
+    s = layer.stride
+    cols = []
+    for ox in range(layer.out_w):
+        patch = window[:, ox * s : ox * s + layer.f_w]
+        if filters.ndim == 4:
+            cols.append(np.einsum("hwc,nhwc->n", patch, filters))
+        else:
+            cols.append(np.einsum("hwc,hwc->c", patch, filters))
+    return np.stack(cols)  # (O_W, n or C')
+
+
+# ----------------------------------------------------------------------
+# Policy executors
+# ----------------------------------------------------------------------
+
+
+def _run_intra(layer: LayerSpec, dram: _Dram) -> np.ndarray:
+    _fetch_pass(dram, layer)  # whole (touched) ifmap becomes resident
+    resident_filters = dram.fetch_filters(slice(None))
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    s = layer.stride
+    for oy in range(layer.out_h):
+        window = dram.padded_ifmap[oy * s : oy * s + layer.f_h]
+        out[oy] = _conv_row(window, resident_filters, layer)
+    dram.write_ofmap(out)
+    return out
+
+
+def _run_p1(layer: LayerSpec, dram: _Dram) -> np.ndarray:
+    resident_filters = dram.fetch_filters(slice(None))
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    for oy, (f0, f1, w0) in enumerate(_row_window_plan(layer)):
+        dram.fetch_rows(f0, f1)  # rows not already held by the window
+        window = dram.padded_ifmap[w0 : w0 + layer.f_h]
+        row = _conv_row(window, resident_filters, layer)
+        out[oy] = row
+        dram.write_ofmap(row)
+    return out
+
+
+def _run_p2(layer: LayerSpec, dram: _Dram) -> np.ndarray:
+    _fetch_pass(dram, layer)  # whole (touched) ifmap becomes resident
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    s = layer.stride
+    if layer.kind.is_depthwise:
+        for c in range(layer.in_c):
+            filt = dram.fetch_filters((slice(None), slice(None), slice(c, c + 1)))
+            for oy in range(layer.out_h):
+                window = dram.padded_ifmap[oy * s : oy * s + layer.f_h, :, c : c + 1]
+                out[oy, :, c] = _conv_row(window, filt, layer)[:, 0]
+            dram.write_ofmap(out[:, :, c])
+    else:
+        for n in range(layer.num_filters):
+            filt = dram.fetch_filters(slice(n, n + 1))
+            for oy in range(layer.out_h):
+                window = dram.padded_ifmap[oy * s : oy * s + layer.f_h]
+                out[oy, :, n] = _conv_row(window, filt, layer)[:, 0]
+            dram.write_ofmap(out[:, :, n])
+    return out
+
+
+def _run_p3(layer: LayerSpec, dram: _Dram) -> np.ndarray:
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    depthwise = layer.kind.is_depthwise
+    for c in range(layer.in_c):
+        if depthwise:
+            filt_channel = dram.fetch_filters(
+                (slice(None), slice(None), slice(c, c + 1))
+            )  # (F_H, F_W, 1)
+        else:
+            filt_channel = dram.fetch_filters(
+                (slice(None), slice(None), slice(None), slice(c, c + 1))
+            )  # (F#, F_H, F_W, 1)
+        for oy, (f0, f1, w0) in enumerate(_row_window_plan(layer)):
+            dram.fetch_rows(f0, f1, channels=slice(c, c + 1))
+            window = dram.padded_ifmap[w0 : w0 + layer.f_h, :, c : c + 1]
+            contribution = _conv_row(window, filt_channel, layer)
+            if depthwise:
+                out[oy, :, c] = contribution[:, 0]
+            else:
+                out[oy, :, :] += contribution
+        if depthwise:
+            dram.write_ofmap(out[:, :, c])
+    if not depthwise:
+        dram.write_ofmap(out)
+    return out
+
+
+def _run_p4(layer: LayerSpec, dram: _Dram, block: int) -> np.ndarray:
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    if layer.kind.is_depthwise:
+        start = 0
+        for _, size in _expand_blocks(layer.in_c, block):
+            chans = slice(start, start + size)
+            filt = dram.fetch_filters((slice(None), slice(None), chans))
+            for oy, (f0, f1, w0) in enumerate(_row_window_plan(layer)):
+                dram.fetch_rows(f0, f1, channels=chans)
+                window = dram.padded_ifmap[w0 : w0 + layer.f_h, :, chans]
+                out[oy, :, chans] = _conv_row(window, filt, layer)
+                dram.write_ofmap(out[oy, :, chans])
+            start += size
+        return out
+    start = 0
+    for _, size in _expand_blocks(layer.num_filters, block):
+        filt = dram.fetch_filters(slice(start, start + size))
+        for oy, (f0, f1, w0) in enumerate(_row_window_plan(layer)):
+            dram.fetch_rows(f0, f1)
+            window = dram.padded_ifmap[w0 : w0 + layer.f_h]
+            out[oy, :, start : start + size] = _conv_row(window, filt, layer)
+            dram.write_ofmap(out[oy, :, start : start + size])
+        start += size
+    return out
+
+
+def _run_p5(layer: LayerSpec, dram: _Dram, block: int) -> np.ndarray:
+    if layer.kind.is_depthwise:
+        return _run_p4(layer, dram, block)
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    start = 0
+    for _, size in _expand_blocks(layer.num_filters, block):
+        filters_slice = slice(start, start + size)
+        for c in range(layer.in_c):
+            filt_channel = dram.fetch_filters(
+                (filters_slice, slice(None), slice(None), slice(c, c + 1))
+            )
+            for oy, (f0, f1, w0) in enumerate(_row_window_plan(layer)):
+                dram.fetch_rows(f0, f1, channels=slice(c, c + 1))
+                window = dram.padded_ifmap[w0 : w0 + layer.f_h, :, c : c + 1]
+                out[oy, :, filters_slice] += _conv_row(window, filt_channel, layer)
+        dram.write_ofmap(out[:, :, filters_slice])
+        start += size
+    return out
+
+
+def _touched(start: int, count: int, filt: int, stride: int) -> list[int]:
+    """Padded indices one ofmap band of ``count`` outputs touches (1-D)."""
+    indices: list[int] = []
+    held_end = start * stride
+    for r in range(count):
+        need0 = (start + r) * stride
+        need1 = need0 + filt
+        indices.extend(range(max(need0, held_end), need1))
+        held_end = need1
+    return indices
+
+
+def _conv_band(
+    dram: _Dram,
+    layer: LayerSpec,
+    filt: np.ndarray,
+    band0: int,
+    rows: int,
+    col0: int,
+    cols: int,
+    channels: slice,
+) -> np.ndarray:
+    """Compute one ofmap band (rows × cols) from the padded ifmap."""
+    s = layer.stride
+    out = np.zeros((rows, cols, filt.shape[0] if filt.ndim == 4 else filt.shape[2]))
+    for r in range(rows):
+        for c in range(cols):
+            oy, ox = band0 + r, col0 + c
+            patch = dram.padded_ifmap[
+                oy * s : oy * s + layer.f_h, ox * s : ox * s + layer.f_w, channels
+            ]
+            if filt.ndim == 4:
+                out[r, c] = np.einsum("hwc,nhwc->n", patch, filt)
+            else:
+                out[r, c] = np.einsum("hwc,hwc->c", patch, filt)
+    return out
+
+
+def _run_tiled(layer: LayerSpec, dram: _Dram, plan: CandidatePlan) -> np.ndarray:
+    """Band-tiled fallback: row bands × column bands × blocks (Fig. 2a)."""
+    out = np.zeros((layer.out_h, layer.out_w, layer.out_c))
+    o_t, w_t = plan.tile_shape or (layer.out_h, layer.out_w)
+    n_f = plan.block_size or 1
+    depthwise = layer.kind.is_depthwise
+    blocks = _expand_blocks(layer.in_c if depthwise else layer.num_filters, n_f)
+    for band0 in range(0, layer.out_h, o_t):
+        rows = min(o_t, layer.out_h - band0)
+        trows = _touched(band0, rows, layer.f_h, layer.stride)
+        for col0 in range(0, layer.out_w, w_t):
+            cols = min(w_t, layer.out_w - col0)
+            tcols = _touched(col0, cols, layer.f_w, layer.stride)
+            start = 0
+            for _, size in blocks:
+                if depthwise:
+                    chans = slice(start, start + size)
+                    dram.fetch_grid(trows, tcols, channels=chans)
+                    filt = dram.fetch_filters((slice(None), slice(None), chans))
+                    band = _conv_band(
+                        dram, layer, filt, band0, rows, col0, cols, chans
+                    )
+                    out[band0 : band0 + rows, col0 : col0 + cols, chans] = band
+                    dram.write_ofmap(band)
+                else:
+                    filters_slice = slice(start, start + size)
+                    for ch in range(layer.in_c):
+                        chans = slice(ch, ch + 1)
+                        dram.fetch_grid(trows, tcols, channels=chans)
+                        filt = dram.fetch_filters(
+                            (filters_slice, slice(None), slice(None), chans)
+                        )
+                        out[
+                            band0 : band0 + rows, col0 : col0 + cols, filters_slice
+                        ] += _conv_band(
+                            dram, layer, filt, band0, rows, col0, cols, chans
+                        )
+                    dram.write_ofmap(
+                        out[band0 : band0 + rows, col0 : col0 + cols, filters_slice]
+                    )
+                start += size
+    return out
+
+
+def _expand_blocks(total: int, block: int) -> list[tuple[int, int]]:
+    """split_blocks flattened to one (count=1, size) entry per block."""
+    out = []
+    for count, size in split_blocks(total, block):
+        out.extend([(1, size)] * count)
+    return out
+
+
+_EXECUTORS = {
+    "intra": lambda layer, dram, plan: _run_intra(layer, dram),
+    "p1": lambda layer, dram, plan: _run_p1(layer, dram),
+    "p2": lambda layer, dram, plan: _run_p2(layer, dram),
+    "p3": lambda layer, dram, plan: _run_p3(layer, dram),
+    "p4": lambda layer, dram, plan: _run_p4(layer, dram, plan.block_size),
+    "p5": lambda layer, dram, plan: _run_p5(layer, dram, plan.block_size),
+    "tiled": _run_tiled,
+}
+
+
+def run_layer_with_plan(
+    plan: CandidatePlan, ifmap: np.ndarray, filters: np.ndarray
+) -> tuple[np.ndarray, DramCounter]:
+    """Execute a layer numerically following the plan's policy tiling.
+
+    Returns the computed ofmap and the off-chip traffic counter; callers
+    assert the ofmap matches :func:`run_layer_direct` and the counter
+    matches ``plan.traffic``.
+    """
+    layer = plan.layer
+    if ifmap.shape != (layer.in_h, layer.in_w, layer.in_c):
+        raise ValueError(f"ifmap shape {ifmap.shape} does not match {layer.name}")
+    try:
+        executor = _EXECUTORS[plan.policy_name]
+    except KeyError:
+        raise ValueError(f"no functional executor for policy {plan.policy_name!r}")
+    dram = _Dram(layer=layer, padded_ifmap=pad_ifmap(layer, ifmap), filters=filters)
+    out = executor(layer, dram, plan)
+    return out, dram.counter

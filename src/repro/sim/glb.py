@@ -1,0 +1,218 @@
+"""Address-level layout of execution plans in the global buffer.
+
+The planner reasons in aggregate byte counts; this module proves those
+plans are *realizable* by assigning every tile an actual address range in
+the GLB, layer by layer, and checking the constraints aggregate counting
+cannot see:
+
+* double-buffered (prefetch) tiles need two disjoint slots;
+* a donated ofmap must survive the layer transition, so the receiver's
+  resident-ifmap region is **the same address range** the producer wrote;
+* a layer that both receives and donates needs the incoming region, the
+  outgoing region and its streaming tiles to coexist without overlap.
+
+Persistent (donated) regions ping-pong between the two ends of the
+buffer: a layer whose incoming region sits at the top places its outgoing
+region at the bottom and vice versa, leaving one contiguous middle gap of
+exactly ``GLB − incoming − outgoing`` bytes for the streaming tiles —
+the same bound the analyzer's feasibility check uses, so every plan the
+analyzer accepts lays out without fragmentation (asserted by the tests).
+
+The resulting :class:`LayerLayout` is the kind of address map a code
+generator (the paper's TVM future work) would emit alongside the policy
+schedule.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..analyzer.plan import ExecutionPlan, LayerAssignment
+
+
+class Side(enum.Enum):
+    """Which end of the GLB a persistent region occupies."""
+
+    BOTTOM = "bottom"
+    TOP = "top"
+
+    @property
+    def opposite(self) -> "Side":
+        return Side.TOP if self is Side.BOTTOM else Side.BOTTOM
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named address range in the GLB (half-open, bytes)."""
+
+    name: str
+    offset: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.size < 0:
+            raise ValueError(f"region {self.name}: negative offset/size")
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+    def overlaps(self, other: "Region") -> bool:
+        """Whether two non-empty regions share any byte."""
+        return (
+            self.size > 0
+            and other.size > 0
+            and self.offset < other.end
+            and other.offset < self.end
+        )
+
+
+@dataclass(frozen=True)
+class LayerLayout:
+    """The address map of one layer's execution."""
+
+    layer_name: str
+    policy: str
+    regions: tuple[Region, ...]
+    #: Address/side of the ofmap region handed to the next layer
+    #: (None if the layer does not donate).
+    donated_offset: int | None
+    donated_side: Side | None
+
+    def region(self, name: str) -> Region:
+        """Look up a region by name."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"{self.layer_name}: no region {name!r}")
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(r.size for r in self.regions)
+
+
+class AllocationError(RuntimeError):
+    """A plan could not be laid out in the GLB."""
+
+
+def _tile_regions(assignment: LayerAssignment, bytes_per_elem: int) -> list[tuple[str, int]]:
+    """(name, size) pairs for the streaming tiles, double-buffered if +p."""
+    plan = assignment.evaluation.plan
+    copies = 2 if plan.prefetch else 1
+    pairs: list[tuple[str, int]] = []
+    for tensor, elems in (
+        ("ifmap", plan.tiles.ifmap),
+        ("filters", plan.tiles.filters),
+        ("ofmap", plan.tiles.ofmap),
+    ):
+        if tensor == "ifmap" and assignment.receives:
+            continue  # served by the donated (incoming) region
+        if tensor == "ofmap" and assignment.donates:
+            continue  # served by the outgoing region
+        if elems == 0:
+            continue
+        for copy in range(copies):
+            suffix = f"[{copy}]" if copies > 1 else ""
+            pairs.append((f"{tensor}{suffix}", elems * bytes_per_elem))
+    return pairs
+
+
+def layout_assignment(
+    assignment: LayerAssignment,
+    glb_bytes: int,
+    bytes_per_elem: int,
+    incoming_offset: int | None = None,
+    incoming_side: Side | None = None,
+) -> LayerLayout:
+    """Assign addresses for one layer.
+
+    ``incoming_offset``/``incoming_side`` locate the previous layer's
+    donated ofmap (this layer's resident ifmap); required iff the
+    assignment ``receives``.
+    """
+    layer = assignment.layer
+    regions: list[Region] = []
+
+    low = 0  # first free byte above the bottom persistent region
+    high = glb_bytes  # first used byte of the top persistent region
+
+    if assignment.receives:
+        if incoming_offset is None or incoming_side is None:
+            raise AllocationError(
+                f"{layer.name}: receives a donated ifmap but no incoming region"
+            )
+        size = layer.ifmap_elems * bytes_per_elem
+        regions.append(Region("ifmap(donated)", incoming_offset, size))
+        if incoming_side is Side.BOTTOM:
+            low = max(low, incoming_offset + size)
+        else:
+            high = min(high, incoming_offset)
+
+    donated_offset: int | None = None
+    donated_side: Side | None = None
+    if assignment.donates:
+        size = layer.ofmap_elems * bytes_per_elem
+        donated_side = (
+            incoming_side.opposite if assignment.receives else Side.TOP
+        )
+        if donated_side is Side.TOP:
+            donated_offset = high - size
+            high = donated_offset
+        else:
+            donated_offset = low
+            low += size
+        if low > high:
+            raise AllocationError(
+                f"{layer.name}: persistent regions exceed the GLB "
+                f"({glb_bytes} B)"
+            )
+        regions.append(Region("ofmap(donated)", donated_offset, size))
+
+    cursor = low
+    for name, size in _tile_regions(assignment, bytes_per_elem):
+        if cursor + size > high:
+            raise AllocationError(
+                f"{layer.name}: tile {name} ({size} B at {cursor}) overflows "
+                f"the free gap [{low}, {high})"
+            )
+        regions.append(Region(name, cursor, size))
+        cursor += size
+
+    # Defensive overlap check (the construction should already be disjoint).
+    for i, a in enumerate(regions):
+        for b in regions[i + 1 :]:
+            if a.overlaps(b):
+                raise AllocationError(
+                    f"{layer.name}: regions {a.name} and {b.name} overlap"
+                )
+
+    return LayerLayout(
+        layer_name=layer.name,
+        policy=assignment.label,
+        regions=tuple(regions),
+        donated_offset=donated_offset,
+        donated_side=donated_side,
+    )
+
+
+def layout_plan(plan: ExecutionPlan) -> list[LayerLayout]:
+    """Assign addresses for a whole plan, threading donated regions.
+
+    Raises :class:`AllocationError` if any layer cannot be laid out —
+    which would indicate the aggregate feasibility checks missed a
+    packing constraint (the test suite asserts this never happens for
+    analyzer-produced plans).
+    """
+    layouts: list[LayerLayout] = []
+    incoming_offset: int | None = None
+    incoming_side: Side | None = None
+    b = plan.spec.bytes_per_elem
+    for assignment in plan.assignments:
+        layout = layout_assignment(
+            assignment, plan.spec.glb_bytes, b, incoming_offset, incoming_side
+        )
+        layouts.append(layout)
+        incoming_offset = layout.donated_offset
+        incoming_side = layout.donated_side
+    return layouts

@@ -1,0 +1,53 @@
+"""Cross-validation of the closed-form estimators against the simulator.
+
+The paper states its results "have been validated against [Siu et al.,
+IISWC'18]"; our equivalent is internal consistency: the step-level
+simulator must reproduce the estimators' traffic *exactly* and their
+latency within a small relative tolerance (the closed form collapses
+per-group maxima that the event model resolves step by step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analyzer.plan import ExecutionPlan
+from .engine import PlanSimResult, simulate_plan
+
+
+@dataclass(frozen=True)
+class CrossCheck:
+    """Comparison of estimated vs simulated plan metrics."""
+
+    estimated_accesses_bytes: int
+    simulated_accesses_bytes: int
+    estimated_latency_cycles: float
+    simulated_latency_cycles: float
+
+    @property
+    def traffic_matches(self) -> bool:
+        return self.estimated_accesses_bytes == self.simulated_accesses_bytes
+
+    @property
+    def latency_rel_error(self) -> float:
+        if self.simulated_latency_cycles == 0:
+            return 0.0
+        return (
+            abs(self.estimated_latency_cycles - self.simulated_latency_cycles)
+            / self.simulated_latency_cycles
+        )
+
+
+def crosscheck_plan(
+    plan: ExecutionPlan, *, max_steps_per_layer: int | None = None
+) -> tuple[CrossCheck, PlanSimResult]:
+    """Simulate a plan and compare against its estimator-derived metrics."""
+    sim = simulate_plan(plan, max_steps_per_layer=max_steps_per_layer)
+    b = plan.spec.bytes_per_elem
+    check = CrossCheck(
+        estimated_accesses_bytes=plan.total_accesses_bytes,
+        simulated_accesses_bytes=sim.dram_total_elems * b,
+        estimated_latency_cycles=plan.total_latency_cycles,
+        simulated_latency_cycles=sim.total_cycles,
+    )
+    return check, sim

@@ -1,0 +1,101 @@
+"""Shared fixtures: representative layers and accelerator specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import AcceleratorSpec, kib
+from repro.nn import LayerKind, LayerSpec
+
+
+@pytest.fixture
+def spec64() -> AcceleratorSpec:
+    """The paper's accelerator at the smallest GLB (64 kB)."""
+    return AcceleratorSpec(glb_bytes=kib(64))
+
+
+@pytest.fixture
+def spec1m() -> AcceleratorSpec:
+    """The paper's accelerator at the largest GLB (1 MB)."""
+    return AcceleratorSpec(glb_bytes=kib(1024))
+
+
+@pytest.fixture
+def conv_layer() -> LayerSpec:
+    """A mid-size 3×3 convolution (ResNet18 conv2 shape)."""
+    return LayerSpec(
+        name="conv",
+        kind=LayerKind.CONV,
+        in_h=56,
+        in_w=56,
+        in_c=64,
+        f_h=3,
+        f_w=3,
+        num_filters=64,
+        stride=1,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def dw_layer() -> LayerSpec:
+    """A depth-wise 3×3 convolution (MobileNet dw2 shape)."""
+    return LayerSpec(
+        name="dw",
+        kind=LayerKind.DEPTHWISE,
+        in_h=112,
+        in_w=112,
+        in_c=64,
+        f_h=3,
+        f_w=3,
+        num_filters=1,
+        stride=2,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def pw_layer() -> LayerSpec:
+    """A 1×1 point-wise convolution."""
+    return LayerSpec(
+        name="pw",
+        kind=LayerKind.POINTWISE,
+        in_h=28,
+        in_w=28,
+        in_c=128,
+        f_h=1,
+        f_w=1,
+        num_filters=256,
+    )
+
+
+@pytest.fixture
+def fc_layer() -> LayerSpec:
+    """A classifier FC layer."""
+    return LayerSpec(
+        name="fc",
+        kind=LayerKind.FC,
+        in_h=1,
+        in_w=1,
+        in_c=512,
+        f_h=1,
+        f_w=1,
+        num_filters=1000,
+    )
+
+
+@pytest.fixture
+def small_conv() -> LayerSpec:
+    """A tiny convolution whose numbers are easy to compute by hand."""
+    return LayerSpec(
+        name="tiny",
+        kind=LayerKind.CONV,
+        in_h=8,
+        in_w=8,
+        in_c=4,
+        f_h=3,
+        f_w=3,
+        num_filters=6,
+        stride=1,
+        padding=1,
+    )

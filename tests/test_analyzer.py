@@ -1,0 +1,139 @@
+"""Algorithm 1, objectives and plan construction."""
+
+import pytest
+
+from repro.analyzer import (
+    Objective,
+    best_homogeneous,
+    plan_heterogeneous,
+    plan_homogeneous,
+    select_policy,
+)
+from repro.arch import AcceleratorSpec, kib
+from repro.estimators import evaluate_layer
+from repro.nn.zoo import get_model
+
+
+class TestObjective:
+    def test_accesses_key_order(self):
+        assert Objective.ACCESSES.key(10, 99) < Objective.ACCESSES.key(11, 1)
+
+    def test_accesses_tiebreak_on_latency(self):
+        assert Objective.ACCESSES.key(10, 5) < Objective.ACCESSES.key(10, 6)
+
+    def test_latency_key_order(self):
+        assert Objective.LATENCY.key(99, 10) < Objective.LATENCY.key(1, 11)
+
+    def test_latency_tiebreak_on_accesses(self):
+        assert Objective.LATENCY.key(5, 10) < Objective.LATENCY.key(6, 10)
+
+
+class TestSelectPolicy:
+    def test_picks_min_accesses(self, conv_layer, spec1m):
+        evs = evaluate_layer(conv_layer, spec1m)
+        best = select_policy(evs, Objective.ACCESSES)
+        assert best.accesses_bytes == min(e.accesses_bytes for e in evs)
+
+    def test_picks_min_latency(self, conv_layer, spec1m):
+        evs = evaluate_layer(conv_layer, spec1m)
+        best = select_policy(evs, Objective.LATENCY)
+        assert best.latency_cycles == min(e.latency_cycles for e in evs)
+
+    def test_accesses_ties_break_on_latency(self, conv_layer, spec1m):
+        evs = evaluate_layer(conv_layer, spec1m)
+        best = select_policy(evs, Objective.ACCESSES)
+        ties = [e for e in evs if e.accesses_bytes == best.accesses_bytes]
+        assert best.latency_cycles == min(e.latency_cycles for e in ties)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no feasible policy"):
+            select_policy([], Objective.ACCESSES)
+
+
+class TestHeterogeneousPlan:
+    def test_one_assignment_per_layer(self, spec64):
+        model = get_model("MobileNet")
+        plan = plan_heterogeneous(model, spec64)
+        assert len(plan.assignments) == len(model)
+        assert plan.scheme == "het"
+
+    def test_every_assignment_fits(self, spec64):
+        plan = plan_heterogeneous(get_model("ResNet18"), spec64)
+        assert all(a.memory_bytes <= spec64.glb_bytes for a in plan.assignments)
+
+    def test_latency_objective_not_worse_on_latency(self, spec64):
+        model = get_model("MobileNet")
+        het_a = plan_heterogeneous(model, spec64, Objective.ACCESSES)
+        het_l = plan_heterogeneous(model, spec64, Objective.LATENCY)
+        assert het_l.total_latency_cycles <= het_a.total_latency_cycles
+        assert het_l.total_accesses_bytes >= het_a.total_accesses_bytes
+
+    def test_accesses_flat_across_glb_sizes(self):
+        """The paper's Fig. 5 observation: Het accesses barely move."""
+        model = get_model("MnasNet")
+        totals = [
+            plan_heterogeneous(model, AcceleratorSpec(glb_bytes=kib(g))).total_accesses_bytes
+            for g in (64, 1024)
+        ]
+        assert totals[1] <= totals[0]
+        assert totals[0] <= 1.10 * totals[1]
+
+    def test_unknown_interlayer_mode(self, spec64):
+        with pytest.raises(ValueError, match="interlayer_mode"):
+            plan_heterogeneous(
+                get_model("MobileNet"), spec64, interlayer=True, interlayer_mode="x"
+            )
+
+    def test_prefetch_disabled(self, spec64):
+        plan = plan_heterogeneous(
+            get_model("MobileNet"), spec64, allow_prefetch=False
+        )
+        assert plan.prefetch_coverage == 0.0
+
+
+class TestHomogeneousPlan:
+    def test_single_family(self, spec1m):
+        plan = plan_homogeneous(get_model("MobileNet"), spec1m, "p1")
+        assert plan.scheme == "hom(p1)"
+        assert set(plan.policy_families_used) <= {"p1", "tiled"}
+
+    def test_fallback_used_when_family_does_not_fit(self, spec64):
+        # intra cannot fit most layers at 64 kB.
+        plan = plan_homogeneous(get_model("ResNet18"), spec64, "intra")
+        assert "tiled" in plan.policy_families_used
+
+    def test_unknown_family(self, spec64):
+        with pytest.raises(KeyError):
+            plan_homogeneous(get_model("MobileNet"), spec64, "p99")
+
+    def test_best_homogeneous_minimizes(self, spec64):
+        model = get_model("MobileNet")
+        best = best_homogeneous(model, spec64)
+        for family in ("intra", "p1", "p2", "p3", "p4", "p5"):
+            plan = plan_homogeneous(model, spec64, family)
+            if plan is not None:
+                assert best.total_accesses_bytes <= plan.total_accesses_bytes
+
+
+class TestDominance:
+    """Het considers every policy Hom can use, so it can never lose."""
+
+    @pytest.mark.parametrize("glb_kb", [64, 256, 1024])
+    @pytest.mark.parametrize("name", ["MobileNet", "ResNet18"])
+    def test_het_not_worse_than_hom(self, name, glb_kb):
+        spec = AcceleratorSpec(glb_bytes=kib(glb_kb))
+        model = get_model(name)
+        het = plan_heterogeneous(model, spec)
+        hom = best_homogeneous(model, spec)
+        assert het.total_accesses_bytes <= hom.total_accesses_bytes
+
+    @pytest.mark.parametrize("name", ["MobileNet", "ResNet18"])
+    def test_per_layer_optimality(self, name, spec64):
+        """Each Het assignment is at least as good as any feasible policy."""
+        model = get_model(name)
+        plan = plan_heterogeneous(model, spec64)
+        for assignment in plan.assignments:
+            evs = evaluate_layer(assignment.layer, spec64)
+            if not evs:
+                continue
+            assert assignment.accesses_bytes <= min(e.accesses_bytes for e in evs)

@@ -1,0 +1,110 @@
+"""Unit helpers and accelerator-spec validation."""
+
+import pytest
+
+from repro.arch import (
+    DEFAULT_SPEC,
+    PAPER_GLB_SIZES,
+    AcceleratorSpec,
+    ceil_div,
+    kib,
+    mib,
+    pct_change,
+    reduction_pct,
+    to_kib,
+    to_mib,
+)
+
+
+class TestUnits:
+    def test_kib_mib(self):
+        assert kib(1) == 1024
+        assert kib(64) == 65536
+        assert mib(1) == 1024 * 1024
+        assert to_kib(2048) == 2.0
+        assert to_mib(mib(3)) == 3.0
+
+    def test_ceil_div_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_ceil_div_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(1, 4) == 1
+
+    def test_ceil_div_zero_dividend(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    def test_pct_change_reduction(self):
+        assert pct_change(50, 100) == -50.0
+        assert reduction_pct(50, 100) == 50.0
+
+    def test_pct_change_zero_reference(self):
+        assert pct_change(0, 0) == 0.0
+        assert pct_change(5, 0) == float("inf")
+
+
+class TestAcceleratorSpec:
+    def test_paper_defaults(self):
+        assert DEFAULT_SPEC.pe_rows == 16
+        assert DEFAULT_SPEC.pe_cols == 16
+        assert DEFAULT_SPEC.ops_per_cycle == 512
+        assert DEFAULT_SPEC.macs_per_cycle == 256.0
+        assert DEFAULT_SPEC.data_width_bits == 8
+        assert DEFAULT_SPEC.dram_bandwidth_elems_per_cycle == 16.0
+
+    def test_paper_glb_sizes(self):
+        assert PAPER_GLB_SIZES == (kib(64), kib(128), kib(256), kib(512), kib(1024))
+
+    def test_bytes_per_elem(self):
+        assert AcceleratorSpec(data_width_bits=8).bytes_per_elem == 1
+        assert AcceleratorSpec(data_width_bits=16).bytes_per_elem == 2
+        assert AcceleratorSpec(data_width_bits=32).bytes_per_elem == 4
+
+    def test_glb_elems_scales_with_width(self):
+        base = AcceleratorSpec(glb_bytes=kib(64))
+        wide = base.with_data_width(32)
+        assert base.glb_elems == kib(64)
+        assert wide.glb_elems == kib(64) // 4
+
+    def test_with_glb(self):
+        spec = DEFAULT_SPEC.with_glb(kib(512))
+        assert spec.glb_bytes == kib(512)
+        assert spec.ops_per_cycle == DEFAULT_SPEC.ops_per_cycle
+
+    def test_transfer_cycles(self):
+        spec = AcceleratorSpec()
+        # 16 elements/cycle at 1 byte each = 16 bytes/cycle.
+        assert spec.transfer_cycles(160) == 10.0
+
+    def test_transfer_cycles_scales_with_width(self):
+        spec = AcceleratorSpec(data_width_bits=32)
+        # 16 elements/cycle at 4 bytes = 64 bytes/cycle.
+        assert spec.transfer_cycles(640) == 10.0
+
+    def test_transfer_cycles_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AcceleratorSpec().transfer_cycles(-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"pe_rows": 0},
+            {"ops_per_cycle": 0},
+            {"data_width_bits": 12},
+            {"data_width_bits": 0},
+            {"glb_bytes": 0},
+            {"dram_bandwidth_elems_per_cycle": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AcceleratorSpec(**kwargs)
+
+    def test_num_pes(self):
+        assert AcceleratorSpec(pe_rows=8, pe_cols=4).num_pes == 32

@@ -1,0 +1,67 @@
+"""Batched inference with cross-item weight reuse."""
+
+import pytest
+
+from repro.analyzer import Objective, batch_sweep, plan_batched, plan_heterogeneous
+from repro.arch import AcceleratorSpec, kib
+from repro.nn.zoo import get_model
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return AcceleratorSpec(glb_bytes=kib(256))
+
+
+class TestPlanBatched:
+    def test_batch1_matches_het_plan(self, spec):
+        """At batch 1 the batched planner reduces to Algorithm 1."""
+        model = get_model("MobileNet")
+        batched = plan_batched(model, spec, 1)
+        het = plan_heterogeneous(model, spec)
+        assert batched.total_accesses_bytes == het.total_accesses_bytes
+        assert batched.total_latency_cycles == pytest.approx(
+            het.total_latency_cycles
+        )
+
+    def test_per_item_traffic_nonincreasing_in_batch(self, spec):
+        model = get_model("ResNet18")
+        previous = None
+        for batch in (1, 2, 4, 8, 16):
+            plan = plan_batched(model, spec, batch)
+            if previous is not None:
+                assert plan.per_item_accesses_bytes <= previous + 1e-9
+            previous = plan.per_item_accesses_bytes
+
+    def test_batching_shifts_to_filter_resident_policies(self, spec):
+        model = get_model("MobileNetV2")
+        small = plan_batched(model, spec, 1)
+        large = plan_batched(model, spec, 16)
+        assert large.weight_reuse_coverage >= small.weight_reuse_coverage
+
+    def test_savings_bounded_by_weight_traffic(self, spec):
+        """Batching can save at most the filter traffic of the model."""
+        model = get_model("ResNet18")
+        b1 = plan_batched(model, spec, 1)
+        b16 = plan_batched(model, spec, 16)
+        max_savings = model.total_weight_elems * spec.bytes_per_elem
+        savings = b1.total_accesses_bytes - b16.per_item_accesses_bytes
+        assert 0 <= savings <= max_savings
+
+    def test_rejects_bad_batch(self, spec):
+        with pytest.raises(ValueError):
+            plan_batched(get_model("MobileNet"), spec, 0)
+
+    def test_latency_objective(self, spec):
+        model = get_model("MobileNet")
+        acc = plan_batched(model, spec, 8, Objective.ACCESSES)
+        lat = plan_batched(model, spec, 8, Objective.LATENCY)
+        assert lat.total_latency_cycles <= acc.total_latency_cycles + 1e-6
+
+
+class TestBatchSweep:
+    def test_rows_per_batch(self, spec):
+        rows = batch_sweep(get_model("MobileNet"), spec, (1, 4))
+        assert [r.batch for r in rows] == [1, 4]
+        for row in rows:
+            assert 0.0 <= row.weight_reuse_coverage <= 1.0
+            assert row.per_item_accesses_bytes > 0

@@ -1,0 +1,114 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.nn import save_model
+from repro.nn.zoo import get_model
+
+
+class TestModelsAndInspect:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        for name in ("ResNet18", "MobileNet", "EfficientNetB0"):
+            assert name in out
+
+    def test_inspect_zoo_model(self, capsys):
+        assert main(["inspect", "ResNet18"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "224x224x3" in out
+
+    def test_inspect_json_model(self, capsys, tmp_path):
+        path = tmp_path / "m.json"
+        save_model(get_model("MobileNet"), path)
+        assert main(["inspect", str(path)]) == 0
+        assert "dw1" in capsys.readouterr().out
+
+    def test_unknown_model(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "NotAModel"])
+
+
+class TestPlan:
+    def test_plan_summary(self, capsys):
+        assert main(["plan", "MobileNet", "--glb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "totals:" in out
+        assert "prefetch coverage" in out
+
+    def test_plan_latency_objective(self, capsys):
+        assert main(["plan", "MobileNet", "--objective", "latency"]) == 0
+
+    def test_plan_interlayer_flags_column(self, capsys):
+        assert main(["plan", "MnasNet", "--glb", "1024", "--interlayer"]) == 0
+        out = capsys.readouterr().out
+        assert " d" in out or "rd" in out  # donation markers
+
+    def test_plan_export(self, capsys, tmp_path):
+        out_file = tmp_path / "plan.json"
+        assert main(["plan", "MobileNet", "--export", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data["model"] == "MobileNet"
+
+    def test_plan_hom_scheme(self, capsys):
+        assert main(["plan", "MobileNet", "--scheme", "hom(p1)"]) == 0
+        out = capsys.readouterr().out
+        assert "hom(p1)" in out
+
+
+class TestBaselineCompareSweep:
+    def test_baseline(self, capsys):
+        assert main(["baseline", "MobileNet", "--glb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "sa_25_75" in out and "sa_75_25" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "MobileNet", "--glb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "access reduction vs best baseline" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "MobileNet", "--glb-list", "64,128"]) == 0
+        out = capsys.readouterr().out
+        assert "65536" in out and "131072" in out
+
+    def test_experiments_subcommand(self, capsys, tmp_path):
+        assert main(["experiments", "table2", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "table2.csv").exists()
+        assert "Table 2" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_evaluate_layer(self, capsys):
+        assert main(["evaluate", "ResNet18", "conv2_1a", "--glb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "policy candidates" in out
+        assert "p1" in out and "tiled" in out
+
+    def test_evaluate_unknown_layer(self):
+        with pytest.raises(KeyError):
+            main(["evaluate", "ResNet18", "not_a_layer"])
+
+
+class TestExtensionCommands:
+    def test_layout(self, capsys):
+        assert main(["layout", "MobileNet", "--glb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "address map" in out and "ifmap" in out
+
+    def test_trace(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.csv"
+        assert main(["trace", "ResNet18", "conv2_1a", str(out_file), "--glb", "1024"]) == 0
+        assert out_file.exists()
+        assert "DRAM transactions" in capsys.readouterr().out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "ResNet18", "--glb", "64"]) == 0
+        assert "lower bound" in capsys.readouterr().out
+
+    def test_pareto(self, capsys):
+        assert main(["pareto", "MobileNet", "--glb", "64", "--points", "3"]) == 0
+        assert "Pareto frontier" in capsys.readouterr().out

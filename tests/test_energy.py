@@ -1,0 +1,83 @@
+"""Energy cost model and energy experiment."""
+
+import pytest
+
+from repro.analyzer import plan_heterogeneous
+from repro.arch import AcceleratorSpec, kib
+from repro.energy import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyBreakdown,
+    EnergyModel,
+    baseline_energy,
+    plan_energy,
+)
+from repro.experiments import energy as energy_experiment
+from repro.nn.zoo import get_model
+from repro.scalesim import baseline_config, simulate
+
+
+class TestEnergyModel:
+    def test_default_ratio_in_paper_band(self):
+        """Paper §2.3: off-chip costs ~10-100x a local computation."""
+        assert 10.0 <= DEFAULT_ENERGY_MODEL.dram_sram_ratio <= 200.0
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            EnergyModel(dram_pj_per_byte=-1)
+
+    def test_breakdown_totals(self):
+        b = EnergyBreakdown(dram_pj=100, sram_pj=50, mac_pj=25)
+        assert b.total_pj == 175
+        assert b.total_uj == pytest.approx(175e-6)
+        assert b.dram_share == pytest.approx(100 / 175)
+
+
+class TestPlanEnergy:
+    @pytest.fixture(scope="class")
+    def plan(self):
+        return plan_heterogeneous(
+            get_model("MobileNet"), AcceleratorSpec(glb_bytes=kib(64))
+        )
+
+    def test_components_positive(self, plan):
+        e = plan_energy(plan)
+        assert e.dram_pj > 0 and e.sram_pj > 0 and e.mac_pj > 0
+
+    def test_dram_energy_proportional_to_accesses(self, plan):
+        e = plan_energy(plan)
+        assert e.dram_pj == pytest.approx(
+            plan.total_accesses_bytes * DEFAULT_ENERGY_MODEL.dram_pj_per_byte
+        )
+
+    def test_mac_energy_from_model_macs(self, plan):
+        e = plan_energy(plan)
+        assert e.mac_pj == pytest.approx(
+            plan.model.total_macs * DEFAULT_ENERGY_MODEL.mac_pj
+        )
+
+    def test_custom_model_scales(self, plan):
+        cheap_dram = EnergyModel(dram_pj_per_byte=16.0)
+        assert plan_energy(plan, cheap_dram).dram_pj == pytest.approx(
+            plan_energy(plan).dram_pj / 10
+        )
+
+
+class TestBaselineEnergy:
+    def test_baseline_vs_plan(self):
+        """Fewer accesses must mean less energy under any fixed model."""
+        model = get_model("ResNet18")
+        spec = AcceleratorSpec(glb_bytes=kib(64))
+        plan = plan_heterogeneous(model, spec)
+        base = simulate(model, baseline_config(kib(64), 0.25))
+        assert plan_energy(plan).total_pj < baseline_energy(base).total_pj
+
+
+class TestEnergyExperiment:
+    def test_reductions_positive_at_64k(self):
+        cells = energy_experiment.run(models=("ResNet18",), glb_sizes_kb=(64,))
+        assert cells[0].reduction_pct > 20.0
+
+    def test_table_renders(self):
+        cells = energy_experiment.run(models=("MobileNet",), glb_sizes_kb=(64, 1024))
+        text = energy_experiment.to_table(cells).render()
+        assert "µJ" in text and "MobileNet" in text

@@ -1,0 +1,143 @@
+"""Functional (numerical) validation of every policy's tiling.
+
+For each policy: execute a layer through the policy's tile schedule on
+random tensors and assert (a) the computed ofmap equals a direct
+convolution and (b) the counted off-chip traffic equals the plan's
+declared traffic, element for element.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import LayerKind, LayerSpec
+from repro.policies import FALLBACK_POLICY, NAMED_POLICIES, policy_by_name
+from repro.sim.functional import (
+    DramCounter,
+    pad_ifmap,
+    random_tensors,
+    run_layer_direct,
+    run_layer_with_plan,
+)
+
+RNG = np.random.default_rng(1234)
+BIG = 1 << 40
+
+
+def _check(plan, layer, ifmap, filters):
+    reference = run_layer_direct(layer, ifmap, filters)
+    out, counter = run_layer_with_plan(plan, ifmap, filters)
+    np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-9)
+    assert counter.matches(plan), f"{plan.label}: {counter.mismatch_report(plan)}"
+
+
+@pytest.mark.parametrize("policy", NAMED_POLICIES, ids=lambda p: p.name)
+class TestNamedPoliciesNumerically:
+    def test_dense_conv(self, policy, small_conv):
+        ifmap, filters = random_tensors(small_conv, RNG)
+        plan = policy.plan(small_conv, BIG, False)
+        _check(plan, small_conv, ifmap, filters)
+
+    def test_strided_conv(self, policy):
+        layer = LayerSpec("s", LayerKind.CONV, 9, 9, 3, 3, 3, 5, stride=2, padding=1)
+        ifmap, filters = random_tensors(layer, RNG)
+        plan = policy.plan(layer, BIG, False)
+        _check(plan, layer, ifmap, filters)
+
+    def test_depthwise(self, policy):
+        layer = LayerSpec("d", LayerKind.DEPTHWISE, 10, 10, 6, 3, 3, 1, padding=1)
+        ifmap, filters = random_tensors(layer, RNG)
+        plan = policy.plan(layer, BIG, False)
+        _check(plan, layer, ifmap, filters)
+
+    def test_pointwise(self, policy):
+        layer = LayerSpec("p", LayerKind.POINTWISE, 6, 6, 8, 1, 1, 12)
+        ifmap, filters = random_tensors(layer, RNG)
+        plan = policy.plan(layer, BIG, False)
+        if plan is None:
+            pytest.skip(f"{policy.name} infeasible for this layer")
+        _check(plan, layer, ifmap, filters)
+
+
+class TestMemoryConstrainedBlocks:
+    """P4/P5 with small budgets exercise the remainder-block paths."""
+
+    def test_p4_small_blocks(self, small_conv):
+        ifmap, filters = random_tensors(small_conv, RNG)
+        window = small_conv.f_h * small_conv.padded_w * small_conv.in_c
+        for budget in (window + 2 * 44, window + 4 * 44):
+            plan = policy_by_name("p4").plan(small_conv, budget, False)
+            assert plan is not None
+            _check(plan, small_conv, ifmap, filters)
+
+    def test_p5_small_blocks(self, small_conv):
+        ifmap, filters = random_tensors(small_conv, RNG)
+        plan = policy_by_name("p5").plan(small_conv, 176, False)
+        assert plan is not None and plan.block_size == 2
+        _check(plan, small_conv, ifmap, filters)
+
+    def test_tiled_fallback_bands(self, small_conv):
+        ifmap, filters = random_tensors(small_conv, RNG)
+        for budget in (200, 400, 1000):
+            plan = FALLBACK_POLICY.plan(small_conv, budget, False)
+            if plan is None:
+                continue
+            _check(plan, small_conv, ifmap, filters)
+
+    def test_tiled_fallback_depthwise(self):
+        layer = LayerSpec("d", LayerKind.DEPTHWISE, 10, 10, 6, 3, 3, 1, padding=1)
+        ifmap, filters = random_tensors(layer, RNG)
+        plan = FALLBACK_POLICY.plan(layer, 150, False)
+        assert plan is not None
+        _check(plan, layer, ifmap, filters)
+
+
+class TestHelpers:
+    def test_pad_ifmap(self, small_conv):
+        ifmap = np.ones((8, 8, 4))
+        padded = pad_ifmap(small_conv, ifmap)
+        assert padded.shape == (10, 10, 4)
+        assert padded[0].sum() == 0 and padded[1, 1:-1].sum() == 8 * 4
+
+    def test_counter_mismatch_report(self, small_conv):
+        plan = policy_by_name("p1").plan(small_conv, BIG, False)
+        counter = DramCounter()
+        assert not counter.matches(plan)
+        assert "ifmap 0 vs" in counter.mismatch_report(plan)
+
+    def test_shape_validation(self, small_conv):
+        plan = policy_by_name("p1").plan(small_conv, BIG, False)
+        with pytest.raises(ValueError, match="shape"):
+            run_layer_with_plan(plan, np.zeros((3, 3, 1)), np.zeros((6, 3, 3, 4)))
+
+
+@st.composite
+def tiny_layers(draw):
+    """Small random layers for property-based numerical validation."""
+    kind = draw(st.sampled_from([LayerKind.CONV, LayerKind.DEPTHWISE]))
+    hw = draw(st.integers(5, 12))
+    c = draw(st.integers(1, 5))
+    f = draw(st.sampled_from([1, 3]))
+    stride = draw(st.sampled_from([1, 2]))
+    pad = draw(st.integers(0, (f - 1) // 2))
+    n = 1 if kind is LayerKind.DEPTHWISE else draw(st.integers(1, 6))
+    return LayerSpec("t", kind, hw, hw, c, f, f, n, stride=stride, padding=pad)
+
+
+@settings(max_examples=40, deadline=None)
+@given(layer=tiny_layers(), budget=st.integers(150, 1 << 20))
+def test_property_all_policies_numerically_correct(layer, budget):
+    rng = np.random.default_rng(0)
+    ifmap, filters = random_tensors(layer, rng)
+    reference = run_layer_direct(layer, ifmap, filters)
+    for policy in (*NAMED_POLICIES, FALLBACK_POLICY):
+        plan = policy.plan(layer, budget, False)
+        if plan is None:
+            continue
+        out, counter = run_layer_with_plan(plan, ifmap, filters)
+        np.testing.assert_allclose(out, reference, rtol=1e-9, atol=1e-9)
+        assert counter.matches(plan), (
+            policy.name,
+            counter.mismatch_report(plan),
+        )

@@ -1,0 +1,123 @@
+"""Address-level GLB layout of execution plans."""
+
+import pytest
+
+from repro.analyzer import Objective, plan_heterogeneous
+from repro.arch import AcceleratorSpec, kib
+from repro.nn.zoo import get_model, paper_models
+from repro.sim.glb import AllocationError, Region, Side, layout_assignment, layout_plan
+
+
+class TestRegion:
+    def test_end_and_overlap(self):
+        a = Region("a", 0, 10)
+        b = Region("b", 10, 5)
+        c = Region("c", 9, 2)
+        assert a.end == 10
+        assert not a.overlaps(b)
+        assert a.overlaps(c) and c.overlaps(b)
+
+    def test_zero_size_never_overlaps(self):
+        assert not Region("z", 5, 0).overlaps(Region("a", 0, 10))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region("bad", -1, 4)
+
+
+class TestSide:
+    def test_opposite(self):
+        assert Side.TOP.opposite is Side.BOTTOM
+        assert Side.BOTTOM.opposite is Side.TOP
+
+
+class TestPlanLayouts:
+    @pytest.mark.parametrize("glb_kb", [64, 256, 1024])
+    @pytest.mark.parametrize("interlayer", [False, True])
+    def test_all_paper_plans_lay_out(self, glb_kb, interlayer):
+        """Every analyzer-accepted plan must be placeable — the ping-pong
+        layout achieves exactly the aggregate feasibility bound."""
+        spec = AcceleratorSpec(glb_bytes=kib(glb_kb))
+        for model in paper_models():
+            plan = plan_heterogeneous(model, spec, interlayer=interlayer)
+            layouts = layout_plan(plan)
+            assert len(layouts) == len(model)
+            for layout in layouts:
+                for region in layout.regions:
+                    assert 0 <= region.offset and region.end <= spec.glb_bytes
+
+    def test_regions_disjoint(self):
+        spec = AcceleratorSpec(glb_bytes=kib(256))
+        plan = plan_heterogeneous(get_model("MnasNet"), spec, interlayer=True)
+        for layout in layout_plan(plan):
+            regions = layout.regions
+            for i, a in enumerate(regions):
+                for b in regions[i + 1 :]:
+                    assert not a.overlaps(b), (layout.layer_name, a, b)
+
+    def test_double_buffered_tiles_have_two_slots(self):
+        spec = AcceleratorSpec(glb_bytes=kib(256))
+        plan = plan_heterogeneous(get_model("MobileNet"), spec)
+        layouts = layout_plan(plan)
+        prefetch_layers = [
+            (a, l) for a, l in zip(plan.assignments, layouts) if a.prefetch
+        ]
+        assert prefetch_layers
+        for assignment, layout in prefetch_layers:
+            names = {r.name for r in layout.regions}
+            streamed = [
+                n for n in ("ifmap", "filters", "ofmap")
+                if f"{n}[0]" in names
+            ]
+            assert streamed, layout
+            for n in streamed:
+                assert f"{n}[1]" in names
+
+    def test_donation_addresses_thread_through(self):
+        spec = AcceleratorSpec(glb_bytes=kib(1024))
+        plan = plan_heterogeneous(get_model("MnasNet"), spec, interlayer=True)
+        layouts = layout_plan(plan)
+        for i, assignment in enumerate(plan.assignments[:-1]):
+            if not assignment.donates:
+                continue
+            producer = layouts[i]
+            consumer = layouts[i + 1]
+            assert producer.donated_offset is not None
+            incoming = consumer.region("ifmap(donated)")
+            assert incoming.offset == producer.donated_offset
+            assert incoming.size == producer.region("ofmap(donated)").size
+
+    def test_donation_sides_alternate_along_chains(self):
+        spec = AcceleratorSpec(glb_bytes=kib(1024))
+        plan = plan_heterogeneous(get_model("MobileNet"), spec, interlayer=True)
+        layouts = layout_plan(plan)
+        previous_side = None
+        for assignment, layout in zip(plan.assignments, layouts):
+            if assignment.donates:
+                if assignment.receives and previous_side is not None:
+                    assert layout.donated_side is previous_side.opposite
+                previous_side = layout.donated_side
+            else:
+                previous_side = None
+
+    def test_used_bytes_never_exceed_glb(self):
+        spec = AcceleratorSpec(glb_bytes=kib(64))
+        plan = plan_heterogeneous(get_model("ResNet18"), spec, interlayer=True)
+        for layout in layout_plan(plan):
+            assert layout.used_bytes <= spec.glb_bytes
+
+
+class TestAllocationErrors:
+    def test_receive_without_incoming(self):
+        spec = AcceleratorSpec(glb_bytes=kib(1024))
+        plan = plan_heterogeneous(get_model("MnasNet"), spec, interlayer=True)
+        receiver = next(a for a in plan.assignments if a.receives)
+        with pytest.raises(AllocationError, match="no incoming region"):
+            layout_assignment(receiver, spec.glb_bytes, 1, None, None)
+
+    def test_overflow_detected(self):
+        spec = AcceleratorSpec(glb_bytes=kib(64))
+        plan = plan_heterogeneous(get_model("ResNet18"), spec)
+        assignment = max(plan.assignments, key=lambda a: a.memory_bytes)
+        with pytest.raises(AllocationError, match="overflows"):
+            layout_assignment(assignment, assignment.memory_bytes // 2, 1)

@@ -1,0 +1,106 @@
+"""Two-resource latency model: hand-checked cases and overlap properties.
+
+Reference rates: the default spec moves 16 elements/cycle and computes 256
+MACs/cycle.
+"""
+
+import pytest
+
+from repro.arch import AcceleratorSpec
+from repro.estimators import schedule_latency
+from repro.policies import LayerSchedule, StepGroup
+
+SPEC = AcceleratorSpec()  # bw=16 elems/cyc, rate=256 MACs/cyc
+
+
+def _schedule(groups, resident_ifmap=0, resident_filters=0):
+    return LayerSchedule(
+        groups=tuple(groups),
+        resident_ifmap=resident_ifmap,
+        resident_filters=resident_filters,
+    )
+
+
+class TestSerialLatency:
+    def test_single_step(self):
+        s = _schedule([StepGroup(count=1, ifmap=160, macs=2560, store=16)])
+        lat = schedule_latency(s, SPEC, prefetch=False)
+        # 160/16 + 2560/256 + 16/16 = 10 + 10 + 1.
+        assert lat.total_cycles == pytest.approx(21.0)
+
+    def test_resident_then_compute(self):
+        s = _schedule([StepGroup(count=1, macs=2560)], resident_filters=320)
+        lat = schedule_latency(s, SPEC, prefetch=False)
+        assert lat.total_cycles == pytest.approx(20 + 10)
+
+    def test_steps_accumulate(self):
+        s = _schedule([StepGroup(count=10, ifmap=160, macs=2560, store=16)])
+        lat = schedule_latency(s, SPEC, prefetch=False)
+        assert lat.total_cycles == pytest.approx(10 * 21.0)
+
+    def test_breakdown_totals(self):
+        s = _schedule([StepGroup(count=4, ifmap=32, filters=32, macs=512, store=16)])
+        lat = schedule_latency(s, SPEC, prefetch=False)
+        assert lat.compute_cycles == pytest.approx(4 * 2.0)
+        assert lat.dma_cycles == pytest.approx(4 * (64 + 16) / 16)
+
+
+class TestPrefetchLatency:
+    def test_compute_bound_steady_state(self):
+        # Per step: dma = (160+16)/16 = 11 < compute = 20.
+        s = _schedule([StepGroup(count=100, ifmap=160, macs=5120, store=16)])
+        lat = schedule_latency(s, SPEC, prefetch=True)
+        # fill(10) + 100·20 + final store tail(1)
+        assert lat.total_cycles == pytest.approx(10 + 100 * 20 + 1)
+
+    def test_dma_bound_steady_state(self):
+        # Per step: dma = (320+160)/16 = 30 > compute = 10.
+        s = _schedule([StepGroup(count=100, ifmap=320, macs=2560, store=160)])
+        lat = schedule_latency(s, SPEC, prefetch=True)
+        # The port-work conservation bound dominates: 100·30 cycles.
+        assert lat.total_cycles == pytest.approx(100 * 30)
+
+    def test_prefetch_never_slower_than_serial(self):
+        cases = [
+            [StepGroup(count=5, ifmap=100, macs=1000, store=50)],
+            [StepGroup(count=3, filters=10, macs=5000), StepGroup(count=2, store=400)],
+            [StepGroup(count=1, ifmap=1, macs=1)],
+        ]
+        for groups in cases:
+            s = _schedule(groups)
+            pf = schedule_latency(s, SPEC, prefetch=True).total_cycles
+            serial = schedule_latency(s, SPEC, prefetch=False).total_cycles
+            assert pf <= serial + 1e-9
+
+    def test_latency_lower_bounds(self):
+        s = _schedule([StepGroup(count=7, ifmap=128, macs=4096, store=64)])
+        for prefetch in (False, True):
+            lat = schedule_latency(s, SPEC, prefetch)
+            assert lat.total_cycles >= lat.compute_cycles - 1e-9
+            assert lat.total_cycles >= lat.dma_cycles - 1e-9
+
+    def test_group_collapse_matches_iteration(self):
+        """The O(groups) closed form must equal naive step iteration."""
+        group = StepGroup(count=57, ifmap=37, filters=11, macs=900, store=23)
+        collapsed = schedule_latency(_schedule([group]), SPEC, prefetch=True)
+        singles = [StepGroup(count=1, ifmap=37, filters=11, macs=900, store=23)] * 57
+        iterated = schedule_latency(_schedule(singles), SPEC, prefetch=True)
+        assert collapsed.total_cycles == pytest.approx(iterated.total_cycles)
+
+    def test_group_collapse_matches_iteration_serial(self):
+        group = StepGroup(count=33, ifmap=5, macs=12000, store=3)
+        collapsed = schedule_latency(_schedule([group]), SPEC, prefetch=False)
+        singles = [StepGroup(count=1, ifmap=5, macs=12000, store=3)] * 33
+        iterated = schedule_latency(_schedule(singles), SPEC, prefetch=False)
+        assert collapsed.total_cycles == pytest.approx(iterated.total_cycles)
+
+    def test_small_counts_no_extrapolation(self):
+        for count in (1, 2, 3):
+            s = _schedule([StepGroup(count=count, ifmap=16, macs=256, store=16)])
+            lat = schedule_latency(s, SPEC, prefetch=True)
+            assert lat.total_cycles > 0
+
+    def test_resident_blocks_first_compute(self):
+        s = _schedule([StepGroup(count=1, macs=256)], resident_ifmap=1600)
+        lat = schedule_latency(s, SPEC, prefetch=True)
+        assert lat.total_cycles == pytest.approx(100 + 1)

@@ -1,0 +1,128 @@
+"""LayerSpec: Table 1 hyperparameters and derived quantities."""
+
+import pytest
+
+from repro.nn import LayerKind, LayerSpec, conv_out_extent
+
+
+class TestConvOutExtent:
+    def test_basic(self):
+        assert conv_out_extent(224, 7, 2, 3) == 112
+        assert conv_out_extent(56, 3, 1, 1) == 56
+        assert conv_out_extent(112, 3, 2, 1) == 56
+
+    def test_no_padding(self):
+        assert conv_out_extent(8, 3, 1, 0) == 6
+
+    def test_empty_output_rejected(self):
+        with pytest.raises(ValueError):
+            conv_out_extent(2, 5, 1, 0)
+
+
+class TestShapes:
+    def test_conv_output_shape(self, conv_layer):
+        assert (conv_layer.out_h, conv_layer.out_w, conv_layer.out_c) == (56, 56, 64)
+
+    def test_strided_output_shape(self, dw_layer):
+        assert (dw_layer.out_h, dw_layer.out_w) == (56, 56)
+
+    def test_depthwise_out_channels_follow_input(self, dw_layer):
+        assert dw_layer.out_c == dw_layer.in_c == 64
+
+    def test_padded_extents(self, conv_layer):
+        assert conv_layer.padded_h == 58
+        assert conv_layer.padded_w == 58
+
+    def test_fc_shape(self, fc_layer):
+        assert (fc_layer.out_h, fc_layer.out_w, fc_layer.out_c) == (1, 1, 1000)
+
+
+class TestElementCounts:
+    def test_conv_footprints(self, conv_layer):
+        assert conv_layer.ifmap_elems == 56 * 56 * 64
+        assert conv_layer.ifmap_padded_elems == 58 * 58 * 64
+        assert conv_layer.filter_elems == 3 * 3 * 64 * 64
+        assert conv_layer.ofmap_elems == 56 * 56 * 64
+        assert conv_layer.filter_elems_per_filter == 3 * 3 * 64
+
+    def test_depthwise_filter_is_one_grouped_filter(self, dw_layer):
+        assert dw_layer.filter_elems == 3 * 3 * 64
+        assert dw_layer.filter_elems_per_filter == 3 * 3 * 64
+
+    def test_total_elems(self, small_conv):
+        assert small_conv.total_elems == (
+            small_conv.ifmap_elems + small_conv.filter_elems + small_conv.ofmap_elems
+        )
+
+    def test_conv_macs(self, conv_layer):
+        assert conv_layer.macs == 56 * 56 * 64 * 3 * 3 * 64
+
+    def test_depthwise_macs(self, dw_layer):
+        assert dw_layer.macs == 56 * 56 * 64 * 3 * 3
+
+    def test_fc_macs(self, fc_layer):
+        assert fc_layer.macs == 512 * 1000
+
+
+class TestValidation:
+    def _layer(self, **overrides):
+        base = dict(
+            name="l",
+            kind=LayerKind.CONV,
+            in_h=8,
+            in_w=8,
+            in_c=4,
+            f_h=3,
+            f_w=3,
+            num_filters=2,
+            stride=1,
+            padding=0,
+        )
+        base.update(overrides)
+        return LayerSpec(**base)
+
+    def test_rejects_nonpositive_dims(self):
+        for field in ("in_h", "in_w", "in_c", "f_h", "f_w", "num_filters", "stride"):
+            with pytest.raises(ValueError):
+                self._layer(**{field: 0})
+
+    def test_rejects_negative_padding(self):
+        with pytest.raises(ValueError):
+            self._layer(padding=-1)
+
+    def test_rejects_filter_larger_than_input(self):
+        with pytest.raises(ValueError):
+            self._layer(f_h=11, f_w=11)
+
+    def test_padding_can_make_filter_fit(self):
+        layer = self._layer(in_h=3, in_w=3, f_h=5, f_w=5, padding=1)
+        assert layer.out_h == 1
+
+    def test_depthwise_requires_single_filter(self):
+        with pytest.raises(ValueError):
+            self._layer(kind=LayerKind.DEPTHWISE, num_filters=4)
+
+    def test_pointwise_requires_1x1(self):
+        with pytest.raises(ValueError):
+            self._layer(kind=LayerKind.POINTWISE)
+
+    def test_fc_requires_1x1_input(self):
+        with pytest.raises(ValueError):
+            self._layer(kind=LayerKind.FC, f_h=1, f_w=1)
+
+    def test_projection_requires_1x1(self):
+        with pytest.raises(ValueError):
+            self._layer(kind=LayerKind.PROJECTION, f_h=3, f_w=3)
+
+
+class TestLayerKind:
+    def test_table2_codes(self):
+        assert LayerKind.CONV.value == "CV"
+        assert LayerKind.DEPTHWISE.value == "DW"
+        assert LayerKind.POINTWISE.value == "PW"
+        assert LayerKind.FC.value == "FC"
+        assert LayerKind.PROJECTION.value == "PL"
+
+    def test_is_depthwise(self):
+        assert LayerKind.DEPTHWISE.is_depthwise
+        assert not LayerKind.CONV.is_depthwise

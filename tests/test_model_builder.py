@@ -1,0 +1,182 @@
+"""Model container and builder DSL."""
+
+import pytest
+
+from repro.nn import LayerKind, LayerSpec, Model, ModelBuilder, make_model, same_padding
+
+
+def _layer(name, in_hw=8, in_c=4, n=4, kind=LayerKind.CONV, f=3, s=1, p=1):
+    return LayerSpec(
+        name=name,
+        kind=kind,
+        in_h=in_hw,
+        in_w=in_hw,
+        in_c=in_c,
+        f_h=f,
+        f_w=f,
+        num_filters=n,
+        stride=s,
+        padding=p,
+    )
+
+
+class TestModel:
+    def test_basic_container(self):
+        model = make_model("m", [_layer("a"), _layer("b")])
+        assert len(model) == 2
+        assert model[0].name == "a"
+        assert [l.name for l in model] == ["a", "b"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_model("m", [])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            make_model("m", [_layer("a"), _layer("a")])
+
+    def test_rejects_out_of_range_pairs(self):
+        with pytest.raises(ValueError):
+            make_model("m", [_layer("a"), _layer("b")], sequential_pairs=[5])
+
+    def test_find(self):
+        model = make_model("m", [_layer("a"), _layer("b")])
+        assert model.find("b").name == "b"
+        with pytest.raises(KeyError):
+            model.find("zzz")
+
+    def test_feeds_next_with_explicit_pairs(self):
+        model = make_model("m", [_layer("a"), _layer("b")], sequential_pairs=[0])
+        assert model.feeds_next(0)
+        assert not model.feeds_next(1)
+        assert not model.feeds_next(-1)
+
+    def test_feeds_next_shape_fallback(self):
+        # No explicit pairs: fall back to exact shape matching.
+        a = _layer("a", in_hw=8, in_c=4, n=4)  # 8x8x4 out
+        b = _layer("b", in_hw=8, in_c=4, n=2)  # consumes 8x8x4
+        model = make_model("m", [a, b])
+        assert model.feeds_next(0)
+
+    def test_kind_histogram(self):
+        model = make_model(
+            "m", [_layer("a"), _layer("b", kind=LayerKind.DEPTHWISE, n=1)]
+        )
+        hist = model.kind_histogram()
+        assert hist[LayerKind.CONV] == 1
+        assert hist[LayerKind.DEPTHWISE] == 1
+
+    def test_totals(self):
+        model = make_model("m", [_layer("a"), _layer("b")])
+        assert model.total_macs == sum(l.macs for l in model.layers)
+        assert model.total_weight_elems == sum(l.filter_elems for l in model.layers)
+
+
+class TestSamePadding:
+    def test_odd_filters(self):
+        assert same_padding(1) == 0
+        assert same_padding(3) == 1
+        assert same_padding(5) == 2
+        assert same_padding(7) == 3
+
+
+class TestBuilder:
+    def test_linear_chain_records_pairs(self):
+        b = ModelBuilder("m", (8, 8, 3))
+        b.conv("c1", f=3, n=4)
+        b.conv("c2", f=3, n=8)
+        b.conv("c3", f=3, n=8)
+        model = b.build()
+        assert model.sequential_pairs == frozenset({0, 1})
+        assert model.feeds_next(0) and model.feeds_next(1)
+
+    def test_pooling_breaks_chain(self):
+        b = ModelBuilder("m", (8, 8, 3))
+        b.conv("c1", f=3, n=4)
+        b.maxpool(2)
+        b.conv("c2", f=3, n=4)
+        model = b.build()
+        assert not model.feeds_next(0)
+
+    def test_shapes_thread_through(self):
+        b = ModelBuilder("m", (224, 224, 3))
+        b.conv("c1", f=7, n=64, s=2, p=3)
+        b.maxpool(3, 2, p=1)
+        t = b.cursor
+        assert (t.h, t.w, t.c) == (56, 56, 64)
+
+    def test_branches_fork_and_concat(self):
+        b = ModelBuilder("m", (8, 8, 16))
+        entry = b.fork()
+        o1 = b.pw("b1", n=4)
+        b.goto(entry)
+        o2 = b.pw("b2", n=12)
+        b.concat([o1, o2])
+        assert b.cursor.c == 16
+        model = b.build()
+        # The forked tensor feeds two consumers: no sequential pair.
+        assert not model.feeds_next(0)
+
+    def test_concat_rejects_spatial_mismatch(self):
+        b = ModelBuilder("m", (8, 8, 16))
+        entry = b.fork()
+        o1 = b.pw("b1", n=4, s=2)
+        b.goto(entry)
+        o2 = b.pw("b2", n=4)
+        with pytest.raises(ValueError):
+            b.concat([o1, o2])
+
+    def test_concat_rejects_empty(self):
+        b = ModelBuilder("m", (8, 8, 16))
+        with pytest.raises(ValueError):
+            b.concat([])
+
+    def test_residual_breaks_chain(self):
+        b = ModelBuilder("m", (8, 8, 4))
+        shortcut = b.fork()
+        b.conv("c1", f=3, n=4)
+        b.add_residual(shortcut)
+        b.conv("c2", f=3, n=4)
+        model = b.build()
+        assert not model.feeds_next(0)
+
+    def test_residual_rejects_shape_mismatch(self):
+        b = ModelBuilder("m", (8, 8, 4))
+        shortcut = b.fork()
+        b.conv("c1", f=3, n=8)
+        with pytest.raises(ValueError):
+            b.add_residual(shortcut)
+
+    def test_fc_requires_flatten(self):
+        b = ModelBuilder("m", (8, 8, 4))
+        with pytest.raises(ValueError):
+            b.fc("fc", n=10)
+
+    def test_flatten_then_fc(self):
+        b = ModelBuilder("m", (8, 8, 4))
+        b.flatten()
+        b.fc("fc", n=10)
+        model = b.build()
+        assert model[0].in_c == 8 * 8 * 4
+        assert model[0].kind is LayerKind.FC
+
+    def test_global_avgpool(self):
+        b = ModelBuilder("m", (8, 8, 4))
+        b.global_avgpool()
+        assert (b.cursor.h, b.cursor.w, b.cursor.c) == (1, 1, 4)
+
+    def test_depthwise_and_projection(self):
+        b = ModelBuilder("m", (8, 8, 4))
+        b.dw("d", f=3)
+        b.projection("p", n=8, s=2)
+        model = b.build()
+        assert model[0].kind is LayerKind.DEPTHWISE
+        assert model[1].kind is LayerKind.PROJECTION
+        assert model[1].out_c == 8
+
+    def test_auto_names_are_unique(self):
+        b = ModelBuilder("m", (8, 8, 4))
+        b.conv(f=3, n=4)
+        b.conv(f=3, n=4)
+        model = b.build()
+        assert model[0].name != model[1].name

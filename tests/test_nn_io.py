@@ -1,0 +1,63 @@
+"""JSON import/export of model descriptions."""
+
+import json
+
+import pytest
+
+from repro.nn import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.nn.io import layer_from_dict, layer_to_dict
+from repro.nn.zoo import get_model
+
+
+class TestLayerRoundTrip:
+    def test_round_trip(self, conv_layer):
+        assert layer_from_dict(layer_to_dict(conv_layer)) == conv_layer
+
+    def test_depthwise_round_trip(self, dw_layer):
+        assert layer_from_dict(layer_to_dict(dw_layer)) == dw_layer
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="bad layer record"):
+            layer_from_dict({"kind": "XX", "name": "l"})
+
+    def test_rejects_missing_fields(self, conv_layer):
+        record = layer_to_dict(conv_layer)
+        del record["in_h"]
+        with pytest.raises(ValueError, match="missing fields"):
+            layer_from_dict(record)
+
+
+class TestModelRoundTrip:
+    def test_zoo_model_round_trip(self):
+        model = get_model("ResNet18")
+        clone = model_from_dict(model_to_dict(model))
+        assert clone == model
+        assert clone.sequential_pairs == model.sequential_pairs
+
+    def test_file_round_trip(self, tmp_path):
+        model = get_model("MobileNet")
+        path = tmp_path / "mobilenet.json"
+        save_model(model, path)
+        assert load_model(path) == model
+
+    def test_json_is_stable(self, tmp_path):
+        model = get_model("MnasNet")
+        path = tmp_path / "m.json"
+        save_model(model, path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        assert data["name"] == "MnasNet"
+        assert len(data["layers"]) == len(model)
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            model_from_dict({"schema": 99, "name": "m", "layers": []})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="needs"):
+            model_from_dict({"schema": 1})

@@ -1,0 +1,74 @@
+"""ExecutionPlan aggregates and coverage metrics."""
+
+import pytest
+
+from repro.analyzer import Objective, plan_heterogeneous
+from repro.analyzer.plan import ExecutionPlan
+from repro.arch import AcceleratorSpec, kib
+from repro.nn.zoo import get_model
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return plan_heterogeneous(
+        get_model("MobileNet"), AcceleratorSpec(glb_bytes=kib(128))
+    )
+
+
+class TestAggregates:
+    def test_totals_sum_assignments(self, plan):
+        assert plan.total_accesses_bytes == sum(
+            a.accesses_bytes for a in plan.assignments
+        )
+        assert plan.total_latency_cycles == pytest.approx(
+            sum(a.latency_cycles for a in plan.assignments)
+        )
+
+    def test_reads_plus_writes(self, plan):
+        assert (
+            plan.total_read_bytes + plan.total_write_bytes
+            == plan.total_accesses_bytes
+        )
+
+    def test_max_memory_within_glb(self, plan):
+        assert plan.max_memory_bytes <= plan.spec.glb_bytes
+
+    def test_policies_used_sorted_unique(self, plan):
+        used = plan.policies_used
+        assert list(used) == sorted(set(used))
+        assert all(
+            a.label in used for a in plan.assignments
+        )
+
+    def test_policy_families_strip_prefetch(self, plan):
+        for family in plan.policy_families_used:
+            assert not family.endswith("+p")
+
+    def test_prefetch_coverage_range(self, plan):
+        assert 0.0 <= plan.prefetch_coverage <= 1.0
+
+    def test_interlayer_counters_zero_without_interlayer(self, plan):
+        assert plan.interlayer_pairs_applied == 0
+        assert plan.interlayer_coverage == 0.0
+
+    def test_pairs_possible_matches_model(self, plan):
+        model = plan.model
+        expected = sum(
+            1 for i in range(len(model.layers) - 1) if model.feeds_next(i)
+        )
+        assert plan.interlayer_pairs_possible == expected
+
+
+class TestValidation:
+    def test_wrong_assignment_count_rejected(self, plan):
+        with pytest.raises(ValueError, match="assignments"):
+            ExecutionPlan(
+                model=plan.model,
+                spec=plan.spec,
+                objective=Objective.ACCESSES,
+                scheme="bad",
+                assignments=plan.assignments[:-1],
+            )
+
+    def test_iteration(self, plan):
+        assert len(list(plan)) == len(plan.model)

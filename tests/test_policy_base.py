@@ -1,0 +1,141 @@
+"""Policy framework primitives: tiles, traffic, schedules."""
+
+import pytest
+
+from repro.policies import (
+    CandidatePlan,
+    LayerSchedule,
+    StepGroup,
+    TileSizes,
+    Traffic,
+)
+from repro.policies.base import Policy
+from repro.policies.p4 import split_blocks
+
+
+class TestTileSizes:
+    def test_total(self):
+        assert TileSizes(ifmap=10, filters=20, ofmap=5).total == 35
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            TileSizes(ifmap=-1, filters=0, ofmap=0)
+
+
+class TestTraffic:
+    def test_totals(self):
+        t = Traffic(ifmap_reads=10, filter_reads=20, ofmap_writes=5)
+        assert t.reads == 30
+        assert t.writes == 5
+        assert t.total == 35
+
+    def test_spills_count_both_ways(self):
+        t = Traffic(ifmap_reads=0, filter_reads=0, ofmap_writes=5, ofmap_spills=3)
+        assert t.reads == 3
+        assert t.writes == 8
+        assert t.total == 11
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Traffic(ifmap_reads=-1, filter_reads=0, ofmap_writes=0)
+
+
+class TestStepGroup:
+    def test_load_sums_tensors(self):
+        g = StepGroup(count=2, ifmap=3, filters=4, macs=10, store=1)
+        assert g.load == 7
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            StepGroup(count=0)
+
+    def test_rejects_negative_quantities(self):
+        with pytest.raises(ValueError):
+            StepGroup(count=1, macs=-1)
+
+
+class TestLayerSchedule:
+    def test_totals(self):
+        s = LayerSchedule(
+            groups=(
+                StepGroup(count=3, ifmap=2, filters=1, macs=10, store=4),
+                StepGroup(count=1, store=6),
+            ),
+            resident_ifmap=5,
+            resident_filters=7,
+        )
+        assert s.resident_load == 12
+        assert s.total_ifmap_load == 5 + 3 * 2
+        assert s.total_filter_load == 7 + 3 * 1
+        assert s.total_load == s.total_ifmap_load + s.total_filter_load
+        assert s.total_store == 3 * 4 + 6
+        assert s.total_macs == 30
+        assert s.num_steps == 4
+
+    def test_rejects_negative_resident(self):
+        with pytest.raises(ValueError):
+            LayerSchedule(groups=(), resident_ifmap=-1)
+
+
+class TestCandidatePlanMemory:
+    def _plan(self, prefetch, small_conv):
+        return CandidatePlan(
+            policy_name="x",
+            layer=small_conv,
+            tiles=TileSizes(ifmap=100, filters=50, ofmap=25),
+            traffic=Traffic(ifmap_reads=1, filter_reads=1, ofmap_writes=1),
+            schedule=LayerSchedule(groups=(StepGroup(count=1, macs=1),)),
+            prefetch=prefetch,
+        )
+
+    def test_eq1_memory(self, small_conv):
+        assert self._plan(False, small_conv).memory_elems == 175
+
+    def test_eq2_doubles_with_prefetch(self, small_conv):
+        assert self._plan(True, small_conv).memory_elems == 350
+
+    def test_label(self, small_conv):
+        assert self._plan(False, small_conv).label == "x"
+        assert self._plan(True, small_conv).label == "x+p"
+
+
+class TestPolicyHelpers:
+    def test_covered_rows_stride1(self, conv_layer):
+        # f_h + (out_h-1)*s = 3 + 55 = 58 = padded height.
+        assert Policy.covered_rows(conv_layer) == 58
+
+    def test_covered_rows_capped_by_padded_height(self, dw_layer):
+        # 3 + 55*2 = 113 < padded 114.
+        assert Policy.covered_rows(dw_layer) == 113
+
+    def test_covered_cols(self, conv_layer, dw_layer):
+        assert Policy.covered_cols(conv_layer) == 58
+        assert Policy.covered_cols(dw_layer) == 113  # stride 2 skips one
+
+    def test_ifmap_pass_elems(self, conv_layer):
+        assert Policy.ifmap_pass_elems(conv_layer) == 58 * 58 * 64
+
+    def test_ifmap_pass_per_channel(self, conv_layer):
+        assert Policy.ifmap_pass_elems_per_channel(conv_layer) == 58 * 58
+
+
+class TestSplitBlocks:
+    def test_exact(self):
+        assert split_blocks(8, 4) == [(2, 4)]
+
+    def test_remainder(self):
+        assert split_blocks(10, 4) == [(2, 4), (1, 2)]
+
+    def test_single(self):
+        assert split_blocks(3, 5) == [(1, 3)]
+
+    def test_covers_total(self):
+        for total in (1, 7, 64, 1000):
+            for block in (1, 3, 7, total):
+                assert sum(c * s for c, s in split_blocks(total, block)) == total
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            split_blocks(0, 4)
+        with pytest.raises(ValueError):
+            split_blocks(4, 0)

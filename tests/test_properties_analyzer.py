@@ -1,0 +1,118 @@
+"""Property-based tests for the analyzer layer (planning invariants).
+
+Complements ``test_properties.py`` (policy/latency invariants) with
+randomized *models*: small random chains planned end to end, checking
+the planner-level guarantees hold off the beaten path of the zoo.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analyzer import (
+    Objective,
+    plan_heterogeneous,
+    plan_weighted,
+)
+from repro.arch import AcceleratorSpec
+from repro.nn import LayerKind, LayerSpec, make_model
+from repro.sim import crosscheck_plan
+from repro.sim.glb import layout_plan
+
+
+@st.composite
+def chain_models(draw):
+    """Random sequential CNNs (2–5 conv/pw layers, consistent shapes)."""
+    num_layers = draw(st.integers(2, 5))
+    hw = draw(st.sampled_from([16, 24, 32]))
+    channels = draw(st.integers(2, 16))
+    layers = []
+    pairs = []
+    for i in range(num_layers):
+        pointwise = draw(st.booleans())
+        out_channels = draw(st.integers(2, 24))
+        if pointwise:
+            f, pad = 1, 0
+        else:
+            f, pad = 3, 1
+        stride = draw(st.sampled_from([1, 2])) if hw >= 8 else 1
+        layer = LayerSpec(
+            name=f"l{i}",
+            kind=LayerKind.POINTWISE if pointwise else LayerKind.CONV,
+            in_h=hw,
+            in_w=hw,
+            in_c=channels,
+            f_h=f,
+            f_w=f,
+            num_filters=out_channels,
+            stride=stride,
+            padding=pad,
+        )
+        layers.append(layer)
+        if i < num_layers - 1:
+            pairs.append(i)
+        hw, channels = layer.out_h, layer.out_c
+    return make_model("random-chain", layers, pairs)
+
+
+glb_sizes = st.sampled_from([8 * 1024, 32 * 1024, 128 * 1024])
+
+
+@settings(max_examples=40, deadline=None)
+@given(model=chain_models(), glb=glb_sizes)
+def test_random_chains_plan_and_crosscheck(model, glb):
+    spec = AcceleratorSpec(glb_bytes=glb)
+    plan = plan_heterogeneous(model, spec)
+    assert plan.max_memory_bytes <= glb
+    check, _ = crosscheck_plan(plan)
+    assert check.traffic_matches
+    assert check.latency_rel_error < 1e-5
+
+
+@settings(max_examples=40, deadline=None)
+@given(model=chain_models(), glb=glb_sizes)
+def test_interlayer_never_hurts_random_chains(model, glb):
+    spec = AcceleratorSpec(glb_bytes=glb)
+    base = plan_heterogeneous(model, spec)
+    for mode in ("opportunistic", "joint"):
+        il = plan_heterogeneous(model, spec, interlayer=True, interlayer_mode=mode)
+        assert il.total_accesses_bytes <= base.total_accesses_bytes
+        assert il.max_memory_bytes <= glb
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=chain_models(), glb=glb_sizes)
+def test_interlayer_plans_lay_out(model, glb):
+    spec = AcceleratorSpec(glb_bytes=glb)
+    plan = plan_heterogeneous(model, spec, interlayer=True, interlayer_mode="joint")
+    layouts = layout_plan(plan)  # must not raise AllocationError
+    for layout in layouts:
+        for region in layout.regions:
+            assert 0 <= region.offset and region.end <= glb
+
+
+@settings(max_examples=30, deadline=None)
+@given(model=chain_models(), glb=glb_sizes)
+def test_objective_ordering_random_chains(model, glb):
+    spec = AcceleratorSpec(glb_bytes=glb)
+    het_a = plan_heterogeneous(model, spec, Objective.ACCESSES)
+    het_l = plan_heterogeneous(model, spec, Objective.LATENCY)
+    assert het_a.total_accesses_bytes <= het_l.total_accesses_bytes
+    assert het_l.total_latency_cycles <= het_a.total_latency_cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    model=chain_models(),
+    glb=glb_sizes,
+    alpha=st.floats(0.0, 1.0, allow_nan=False),
+)
+def test_weighted_plans_bounded_by_endpoints(model, glb, alpha):
+    spec = AcceleratorSpec(glb_bytes=glb)
+    het_a = plan_heterogeneous(model, spec, Objective.ACCESSES)
+    het_l = plan_heterogeneous(model, spec, Objective.LATENCY)
+    weighted = plan_weighted(model, spec, alpha)
+    assert weighted.total_accesses_bytes >= het_a.total_accesses_bytes
+    assert weighted.total_latency_cycles >= het_l.total_latency_cycles - 1e-6

@@ -1,0 +1,49 @@
+"""Table rendering and CSV export."""
+
+import pytest
+
+from repro.report import Table, series_table
+
+
+class TestTable:
+    def _table(self):
+        t = Table(title="T", headers=["a", "b"])
+        t.add_row("x", 1)
+        t.add_row("yy", 2.5)
+        return t
+
+    def test_render_contains_everything(self):
+        text = self._table().render()
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "yy" in text and "2.50" in text
+
+    def test_alignment(self):
+        lines = self._table().render().splitlines()
+        data = [l for l in lines if "|" in l]
+        assert len({l.index("|") for l in data}) == 1
+
+    def test_row_arity_checked(self):
+        t = Table(title="T", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+    def test_csv(self):
+        csv = self._table().to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "yy,2.50" in csv
+
+    def test_save_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        self._table().save_csv(path)
+        assert path.read_text().startswith("a,b")
+
+    def test_empty_table_renders(self):
+        assert "T" in Table(title="T", headers=["a"]).render()
+
+
+class TestSeriesTable:
+    def test_build(self):
+        t = series_table("S", "x", [1, 2], {"y": [10, 20], "z": [30, 40]})
+        assert t.headers == ["x", "y", "z"]
+        assert t.rows == [[1, 10, 30], [2, 20, 40]]

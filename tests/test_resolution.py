@@ -1,0 +1,23 @@
+"""Resolution-sweep extension experiment."""
+
+from repro.experiments import resolution
+
+
+class TestResolutionSweep:
+    def test_macs_grow_with_resolution(self):
+        rows = resolution.run(resolutions=(128, 224))
+        assert rows[0].total_macs < rows[1].total_macs
+
+    def test_accesses_grow_with_resolution(self):
+        rows = resolution.run(resolutions=(128, 192, 256))
+        accesses = [r.accesses_bytes for r in rows]
+        assert accesses == sorted(accesses)
+
+    def test_latency_grows_with_resolution(self):
+        rows = resolution.run(resolutions=(128, 256))
+        assert rows[0].latency_cycles < rows[1].latency_cycles
+
+    def test_table_renders(self):
+        rows = resolution.run(resolutions=(128, 160))
+        text = resolution.to_table(rows).render()
+        assert "128x128" in text and "160x160" in text

@@ -1,0 +1,101 @@
+"""Multi-tenant runtime scheduler."""
+
+import pytest
+
+from repro.analyzer import plan_heterogeneous
+from repro.arch import AcceleratorSpec, kib
+from repro.nn.zoo import get_model
+from repro.runtime import Discipline, Request, schedule
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return AcceleratorSpec(glb_bytes=kib(256))
+
+
+@pytest.fixture(scope="module")
+def plans(spec):
+    return {
+        name: plan_heterogeneous(get_model(name), spec, interlayer=True)
+        for name in ("MnasNet", "MobileNet")
+    }
+
+
+class TestSingleRequest:
+    def test_matches_plan_totals(self, plans):
+        plan = plans["MobileNet"]
+        result = schedule([Request("m", plan)])
+        outcome = result.outcomes[0]
+        assert outcome.completion_cycle == pytest.approx(plan.total_latency_cycles)
+        assert outcome.accesses_bytes == plan.total_accesses_bytes
+        assert outcome.broken_donations == 0
+
+    def test_round_robin_single_request_no_penalty(self, plans):
+        """With one tenant there are no preemptions to break donations."""
+        plan = plans["MnasNet"]
+        result = schedule([Request("m", plan)], Discipline.ROUND_ROBIN)
+        assert result.outcomes[0].broken_donations == 0
+        assert result.outcomes[0].accesses_bytes == plan.total_accesses_bytes
+
+
+class TestTwoTenants:
+    def _requests(self, plans):
+        return [
+            Request("a", plans["MnasNet"]),
+            Request("b", plans["MobileNet"]),
+        ]
+
+    def test_fcfs_preserves_traffic(self, plans):
+        result = schedule(self._requests(plans), Discipline.FCFS)
+        expected = sum(p.total_accesses_bytes for p in plans.values())
+        assert result.total_accesses_bytes == expected
+        assert result.total_broken_donations == 0
+
+    def test_round_robin_breaks_donations(self, plans):
+        rr = schedule(self._requests(plans), Discipline.ROUND_ROBIN)
+        fcfs = schedule(self._requests(plans), Discipline.FCFS)
+        assert rr.total_broken_donations > 0
+        assert rr.total_accesses_bytes > fcfs.total_accesses_bytes
+        assert rr.makespan_cycles >= fcfs.makespan_cycles
+
+    def test_round_robin_fairer_to_second_tenant(self, plans):
+        """The second arrival starts making progress immediately."""
+        fcfs = schedule(self._requests(plans), Discipline.FCFS)
+        rr = schedule(self._requests(plans), Discipline.ROUND_ROBIN)
+        fcfs_b = next(o for o in fcfs.outcomes if o.name == "b")
+        rr_b = next(o for o in rr.outcomes if o.name == "b")
+        assert rr_b.start_cycle < fcfs_b.start_cycle
+
+    def test_arrival_times_respected(self, plans):
+        late = Request("late", plans["MobileNet"], arrival_cycle=1e9)
+        early = Request("early", plans["MnasNet"])
+        result = schedule([late, early], Discipline.FCFS)
+        late_outcome = next(o for o in result.outcomes if o.name == "late")
+        assert late_outcome.start_cycle >= 1e9
+
+    def test_makespan_covers_all(self, plans):
+        result = schedule(self._requests(plans), Discipline.ROUND_ROBIN)
+        assert result.makespan_cycles == max(
+            o.completion_cycle for o in result.outcomes
+        )
+
+    def test_mean_turnaround(self, plans):
+        result = schedule(self._requests(plans), Discipline.FCFS)
+        expected = sum(o.turnaround_cycles for o in result.outcomes) / 2
+        assert result.mean_turnaround_cycles == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            schedule([])
+
+    def test_duplicate_names_rejected(self, plans):
+        with pytest.raises(ValueError, match="unique"):
+            schedule(
+                [Request("x", plans["MnasNet"]), Request("x", plans["MobileNet"])]
+            )
+
+    def test_negative_arrival_rejected(self, plans):
+        with pytest.raises(ValueError):
+            Request("x", plans["MnasNet"], arrival_cycle=-1)

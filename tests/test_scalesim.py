@@ -1,0 +1,260 @@
+"""SCALE-Sim-style baseline: config, lowering, timing, DRAM model."""
+
+import pytest
+
+from repro.arch import kib
+from repro.nn import LayerKind, LayerSpec
+from repro.nn.zoo import get_model
+from repro.scalesim import (
+    Dataflow,
+    GemmWorkload,
+    ScaleSimConfig,
+    baseline_config,
+    baseline_configs,
+    compute_cycles,
+    layer_traffic,
+    lower_layer,
+    lower_model,
+    model_to_topology_csv,
+    save_topology,
+    simulate,
+    utilization,
+)
+
+
+class TestConfig:
+    def test_double_buffering_halves_capacity(self):
+        cfg = ScaleSimConfig(ifmap_buf_bytes=kib(30))
+        assert cfg.ifmap_working_elems == kib(15)
+
+    def test_no_double_buffering(self):
+        cfg = ScaleSimConfig(double_buffered=False, ifmap_buf_bytes=kib(30))
+        assert cfg.ifmap_working_elems == kib(30)
+
+    def test_working_elems_scale_with_width(self):
+        cfg = ScaleSimConfig(ifmap_buf_bytes=kib(32), data_width_bits=32)
+        assert cfg.ifmap_working_elems == kib(32) // 2 // 4
+
+    def test_total_sram(self):
+        cfg = ScaleSimConfig(
+            ifmap_buf_bytes=10, filter_buf_bytes=20, ofmap_buf_bytes=5
+        )
+        assert cfg.total_sram_bytes == 35
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"array_rows": 0},
+            {"ifmap_buf_bytes": 0},
+            {"data_width_bits": 7},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ScaleSimConfig(**kwargs)
+
+
+class TestPresets:
+    def test_partition_shares(self):
+        cfg = baseline_config(kib(64), 0.25)
+        rest = kib(64) - kib(4)
+        assert cfg.ofmap_buf_bytes == kib(4)
+        assert cfg.ifmap_buf_bytes == int(rest * 0.25)
+        assert cfg.ifmap_buf_bytes + cfg.filter_buf_bytes == rest
+
+    def test_three_paper_partitions(self):
+        configs = baseline_configs(kib(128))
+        assert set(configs) == {"sa_25_75", "sa_50_50", "sa_75_25"}
+        for cfg in configs.values():
+            assert cfg.total_sram_bytes == kib(128)
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(ValueError):
+            baseline_config(kib(64), 1.5)
+
+    def test_rejects_tiny_total(self):
+        with pytest.raises(ValueError):
+            baseline_config(kib(4), 0.5)
+
+
+class TestLowering:
+    def test_dense_conv(self, conv_layer):
+        w = lower_layer(conv_layer)
+        assert w.sr == 56 * 56
+        assert w.sc == 64
+        assert w.k == 3 * 3 * 64
+        assert w.ifmap_unique == conv_layer.ifmap_elems
+        assert not w.channel_private
+        assert w.macs == conv_layer.macs
+
+    def test_depthwise(self, dw_layer):
+        w = lower_layer(dw_layer)
+        assert w.sc == dw_layer.in_c
+        assert w.k == 9
+        assert w.channel_private
+        assert w.macs == dw_layer.macs
+
+    def test_fc(self, fc_layer):
+        w = lower_layer(fc_layer)
+        assert (w.sr, w.sc, w.k) == (1, 1000, 512)
+
+    def test_lower_model(self):
+        model = get_model("MobileNet")
+        workloads = lower_model(model)
+        assert len(workloads) == len(model)
+        assert workloads[0].name == model[0].name
+
+
+class TestTopologyCsv:
+    def test_header_and_rows(self):
+        csv = model_to_topology_csv(get_model("ResNet18"))
+        lines = csv.strip().split("\n")
+        assert lines[0].startswith("Layer name, IFMAP Height")
+        assert len(lines) == 1 + 21
+        assert lines[1].startswith("conv1, 224, 224, 7, 7, 3, 64, 2,")
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "topo.csv"
+        save_topology(get_model("MobileNet"), path)
+        assert path.read_text().count("\n") == 29
+
+
+class TestComputeCycles:
+    def _w(self, sr=64, sc=32, k=100):
+        return GemmWorkload(
+            name="w", sr=sr, sc=sc, k=k, ifmap_unique=1, filter_unique=1, ofmap_unique=1
+        )
+
+    def test_os_fold_formula(self):
+        cfg = ScaleSimConfig()
+        w = self._w(sr=32, sc=32, k=100)
+        # folds = 2·2, per fold = 2·16 + 16 + 100 - 2 = 146.
+        assert compute_cycles(w, cfg) == 4 * 146
+
+    def test_os_partial_folds_round_up(self):
+        cfg = ScaleSimConfig()
+        assert compute_cycles(self._w(sr=17, sc=1, k=10), cfg) == 2 * (
+            2 * 16 + 16 + 10 - 2
+        )
+
+    def test_ws_and_is_run(self):
+        w = self._w()
+        for df in (Dataflow.WS, Dataflow.IS):
+            cfg = ScaleSimConfig(dataflow=df)
+            assert compute_cycles(w, cfg) > 0
+
+    def test_utilization_bounded(self):
+        cfg = ScaleSimConfig()
+        for sr, sc, k in ((16, 16, 1000), (1, 1, 1), (100, 3, 7)):
+            u = utilization(self._w(sr, sc, k), cfg)
+            assert 0.0 < u <= 1.0
+
+    def test_utilization_high_for_aligned_large_k(self):
+        cfg = ScaleSimConfig()
+        u = utilization(self._w(sr=160, sc=160, k=10000), cfg)
+        assert u > 0.9
+
+
+class TestLayerTraffic:
+    def _w(self, ifmap=10_000, filt=50_000, sr=1024, sc=64, k=576):
+        return GemmWorkload(
+            name="w",
+            sr=sr,
+            sc=sc,
+            k=k,
+            ifmap_unique=ifmap,
+            filter_unique=filt,
+            ofmap_unique=sr * sc,
+        )
+
+    def _cfg(self, bi_kb=30, bf_kb=30):
+        return ScaleSimConfig(
+            ifmap_buf_bytes=kib(bi_kb), filter_buf_bytes=kib(bf_kb)
+        )
+
+    def test_everything_resident_moves_once(self):
+        w = self._w(ifmap=1000, filt=1000)
+        t = layer_traffic(w, self._cfg())
+        assert t.ifmap_reads == 1000
+        assert t.filter_reads == 1000
+        assert t.regime == "resident/resident"
+
+    def test_pinned_filters_restream_per_row_fold(self):
+        w = self._w(ifmap=1000, filt=50_000, sr=1024)
+        cfg = self._cfg(bf_kb=16)  # working = 8k elements
+        t = layer_traffic(w, cfg)
+        row_folds = -(-1024 // 16)
+        pinned = cfg.filter_working_elems
+        assert t.filter_reads == pinned + (50_000 - pinned) * row_folds
+
+    def test_pinned_ifmap_restreams_per_col_fold(self):
+        w = self._w(ifmap=100_000, filt=1000, sc=64)
+        cfg = self._cfg(bi_kb=16)
+        t = layer_traffic(w, cfg)
+        col_folds = 4
+        pinned = cfg.ifmap_working_elems
+        assert t.ifmap_reads == pinned + (100_000 - pinned) * col_folds
+
+    def test_ofmap_written_once(self):
+        w = self._w()
+        assert layer_traffic(w, self._cfg()).ofmap_writes == w.ofmap_unique
+
+    def test_channel_private_always_minimum(self):
+        w = GemmWorkload(
+            name="dw",
+            sr=3136,
+            sc=64,
+            k=9,
+            ifmap_unique=802816,
+            filter_unique=576,
+            ofmap_unique=200704,
+            channel_private=True,
+        )
+        t = layer_traffic(w, self._cfg(bi_kb=8, bf_kb=8))
+        assert t.total == 802816 + 576 + 200704
+
+    def test_monotone_in_buffer_size(self):
+        w = self._w(ifmap=200_000, filt=200_000)
+        last = None
+        for size_kb in (8, 16, 32, 64, 128, 256, 512):
+            t = layer_traffic(w, self._cfg(bi_kb=size_kb, bf_kb=size_kb))
+            if last is not None:
+                assert t.total <= last
+            last = t.total
+
+
+class TestSimulate:
+    def test_totals(self):
+        model = get_model("MobileNet")
+        result = simulate(model, baseline_config(kib(64), 0.5))
+        assert len(result.layers) == len(model)
+        assert result.total_cycles == sum(l.compute_cycles for l in result.layers)
+        assert result.total_traffic_bytes == result.total_traffic_elems
+        assert result.total_read_bytes + result.total_write_bytes == (
+            result.total_traffic_bytes
+        )
+
+    def test_latency_independent_of_partition(self):
+        """Zero-stall baseline: compute cycles ignore buffer sizes."""
+        model = get_model("ResNet18")
+        cycles = {
+            label: simulate(model, cfg).total_cycles
+            for label, cfg in baseline_configs(kib(64)).items()
+        }
+        assert len(set(cycles.values())) == 1
+
+    def test_traffic_depends_on_partition(self):
+        model = get_model("ResNet18")
+        traffic = {
+            label: simulate(model, cfg).total_traffic_bytes
+            for label, cfg in baseline_configs(kib(64)).items()
+        }
+        assert len(set(traffic.values())) > 1
+
+    def test_mean_utilization_bounded(self):
+        result = simulate(get_model("MobileNet"), baseline_config(kib(64), 0.5))
+        assert 0.0 < result.mean_utilization <= 1.0
+
+    def test_average_bandwidth_positive(self):
+        result = simulate(get_model("MobileNet"), baseline_config(kib(64), 0.5))
+        assert result.average_dram_bandwidth_elems_per_cycle > 0

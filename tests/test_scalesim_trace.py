@@ -1,0 +1,96 @@
+"""SCALE-Sim-style DRAM trace generation."""
+
+import pytest
+
+from repro.arch import kib
+from repro.nn import LayerKind, LayerSpec
+from repro.scalesim import ScaleSimConfig, layer_traffic, lower_layer
+from repro.scalesim.trace import (
+    TraceLimitExceeded,
+    generate_dram_trace,
+    trace_to_csv,
+)
+
+
+def _small_workload():
+    layer = LayerSpec("t", LayerKind.CONV, 12, 12, 4, 3, 3, 8, padding=1)
+    return lower_layer(layer)
+
+
+def _config(bi_kb=2, bf_kb=2):
+    return ScaleSimConfig(ifmap_buf_bytes=kib(bi_kb), filter_buf_bytes=kib(bf_kb))
+
+
+class TestTraceGeneration:
+    def test_record_count_matches_traffic_model(self):
+        workload = _small_workload()
+        config = _config()
+        records = list(generate_dram_trace(workload, config))
+        traffic = layer_traffic(workload, config)
+        assert len(records) == traffic.total
+
+    def test_per_operand_counts(self):
+        workload = _small_workload()
+        config = _config()
+        records = list(generate_dram_trace(workload, config))
+        traffic = layer_traffic(workload, config)
+        by_operand = {}
+        for r in records:
+            by_operand[r.operand] = by_operand.get(r.operand, 0) + 1
+        assert by_operand["ifmap"] == traffic.ifmap_reads
+        assert by_operand["filter"] == traffic.filter_reads
+        assert by_operand["ofmap"] == traffic.ofmap_writes
+
+    def test_addresses_within_operand_spaces(self):
+        workload = _small_workload()
+        config = _config()
+        ifmap_end = workload.ifmap_unique
+        filter_end = ifmap_end + workload.filter_unique
+        ofmap_end = filter_end + workload.ofmap_unique
+        for record in generate_dram_trace(workload, config):
+            if record.operand == "ifmap":
+                assert 0 <= record.address < ifmap_end
+                assert not record.is_write
+            elif record.operand == "filter":
+                assert ifmap_end <= record.address < filter_end
+                assert not record.is_write
+            else:
+                assert filter_end <= record.address < ofmap_end
+                assert record.is_write
+
+    def test_cycles_nonnegative_and_bounded(self):
+        workload = _small_workload()
+        config = _config()
+        from repro.scalesim import compute_cycles
+
+        bound = compute_cycles(workload, config)
+        for record in generate_dram_trace(workload, config):
+            assert 0 <= record.cycle <= bound
+
+    def test_reads_unique_when_everything_resident(self):
+        workload = _small_workload()
+        config = _config(bi_kb=64, bf_kb=64)
+        reads = [r for r in generate_dram_trace(workload, config) if not r.is_write]
+        addresses = [r.address for r in reads]
+        assert len(addresses) == len(set(addresses))  # each element once
+
+    def test_depthwise_trace(self):
+        layer = LayerSpec("d", LayerKind.DEPTHWISE, 12, 12, 8, 3, 3, 1, padding=1)
+        workload = lower_layer(layer)
+        config = _config()
+        records = list(generate_dram_trace(workload, config))
+        assert len(records) == layer_traffic(workload, config).total
+
+    def test_limit_enforced(self):
+        workload = _small_workload()
+        with pytest.raises(TraceLimitExceeded):
+            list(generate_dram_trace(workload, _config(), max_records=10))
+
+    def test_csv_export(self, tmp_path):
+        workload = _small_workload()
+        config = _config(bi_kb=64, bf_kb=64)
+        path = tmp_path / "trace.csv"
+        count = trace_to_csv(generate_dram_trace(workload, config), path)
+        lines = path.read_text().strip().split("\n")
+        assert lines[0].startswith("cycle, address")
+        assert len(lines) == count + 1

@@ -1,0 +1,168 @@
+"""Model zoo: the six paper networks must match Table 2 and known shapes."""
+
+import pytest
+
+from repro.nn import LayerKind
+from repro.nn.stats import characteristics
+from repro.nn.zoo import (
+    PAPER_LAYER_COUNTS,
+    PAPER_MODEL_NAMES,
+    get_model,
+    paper_models,
+)
+
+
+class TestTable2Counts:
+    @pytest.mark.parametrize("name", PAPER_MODEL_NAMES)
+    def test_layer_count_matches_table2(self, name):
+        assert len(get_model(name)) == PAPER_LAYER_COUNTS[name]
+
+    def test_registry_order(self):
+        assert PAPER_MODEL_NAMES == (
+            "EfficientNetB0",
+            "GoogLeNet",
+            "MnasNet",
+            "MobileNet",
+            "MobileNetV2",
+            "ResNet18",
+        )
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            get_model("NotANetwork")
+
+    def test_models_are_cached(self):
+        assert get_model("ResNet18") is get_model("ResNet18")
+
+    def test_paper_models_returns_all(self):
+        assert [m.name for m in paper_models()] == list(PAPER_MODEL_NAMES)
+
+
+class TestLayerTypes:
+    def test_resnet18_types(self):
+        kinds = set(get_model("ResNet18").kind_histogram())
+        assert kinds == {LayerKind.CONV, LayerKind.PROJECTION, LayerKind.FC}
+
+    def test_mobilenet_types(self):
+        hist = get_model("MobileNet").kind_histogram()
+        assert hist[LayerKind.DEPTHWISE] == 13
+        assert hist[LayerKind.POINTWISE] == 13
+        assert hist[LayerKind.CONV] == 1
+        assert hist[LayerKind.FC] == 1
+
+    def test_googlenet_has_no_depthwise(self):
+        assert LayerKind.DEPTHWISE not in get_model("GoogLeNet").kind_histogram()
+
+    def test_efficientnet_depthwise_count(self):
+        # 16 MBConv blocks, one DW each.
+        assert get_model("EfficientNetB0").kind_histogram()[LayerKind.DEPTHWISE] == 16
+
+
+class TestKnownShapes:
+    def test_resnet18_stem(self):
+        conv1 = get_model("ResNet18").find("conv1")
+        assert (conv1.in_h, conv1.in_c, conv1.f_h, conv1.stride, conv1.padding) == (
+            224,
+            3,
+            7,
+            2,
+            3,
+        )
+        assert (conv1.out_h, conv1.out_c) == (112, 64)
+
+    def test_resnet18_conv2_input(self):
+        # After the 3x3/2 maxpool: 56x56x64 (the Table 3 P2 worst case).
+        layer = get_model("ResNet18").find("conv2_1a")
+        assert (layer.in_h, layer.in_w, layer.in_c) == (56, 56, 64)
+
+    def test_resnet18_last_conv(self):
+        layer = get_model("ResNet18").find("conv5_2b")
+        assert (layer.in_h, layer.in_c, layer.num_filters) == (7, 512, 512)
+
+    def test_resnet18_classifier(self):
+        fc = get_model("ResNet18").find("fc")
+        assert (fc.in_c, fc.num_filters) == (512, 1000)
+
+    def test_mobilenet_head(self):
+        fc = get_model("MobileNet").find("fc")
+        assert fc.in_c == 1024
+
+    def test_mobilenetv2_head(self):
+        head = get_model("MobileNetV2").find("head")
+        assert (head.in_h, head.in_c, head.num_filters) == (7, 320, 1280)
+
+    def test_mnasnet_final_channels(self):
+        head = get_model("MnasNet").find("head")
+        assert (head.in_c, head.num_filters) == (320, 1280)
+
+    def test_googlenet_inception_3a_output(self):
+        # 64 + 128 + 32 + 32 = 256 channels; the next module consumes them.
+        layer = get_model("GoogLeNet").find("inc3b_1x1")
+        assert layer.in_c == 256
+
+    def test_googlenet_aux_head(self):
+        aux = get_model("GoogLeNet").find("aux4a_fc1")
+        assert (aux.in_c, aux.num_filters) == (2048, 1024)
+
+    def test_efficientnet_stem_and_head(self):
+        model = get_model("EfficientNetB0")
+        assert model.find("stem").num_filters == 32
+        assert model.find("head").num_filters == 1280
+        assert model.find("fc").in_c == 1280
+
+    def test_efficientnet_se_shapes(self):
+        model = get_model("EfficientNetB0")
+        se_r = model.find("b2_se_reduce")
+        se_e = model.find("b2_se_expand")
+        assert se_r.in_h == 1 and se_r.in_w == 1
+        # SE expands back to the block's expanded width (16*6=96).
+        assert se_e.num_filters == 96
+
+    def test_all_macs_positive(self):
+        for model in paper_models():
+            assert model.total_macs > 0
+            assert all(layer.macs > 0 for layer in model.layers)
+
+
+class TestMacTotals:
+    """Published MAC counts (±10% for architecture-variant slack)."""
+
+    @pytest.mark.parametrize(
+        "name,expected_macs",
+        [
+            ("ResNet18", 1.81e9),
+            ("MobileNet", 0.57e9),
+            ("MobileNetV2", 0.30e9),
+            ("EfficientNetB0", 0.39e9),
+            ("GoogLeNet", 1.58e9),
+            ("MnasNet", 0.31e9),
+        ],
+    )
+    def test_total_macs(self, name, expected_macs):
+        macs = get_model(name).total_macs
+        assert macs == pytest.approx(expected_macs, rel=0.10)
+
+
+class TestCharacteristics:
+    def test_summary(self):
+        info = characteristics(get_model("ResNet18"))
+        assert info.num_layers == 21
+        assert LayerKind.CONV in info.layer_kinds
+        assert info.total_weight_elems == pytest.approx(11.68e6, rel=0.02)
+
+
+class TestSummary:
+    def test_summarize_contains_layers_and_totals(self):
+        from repro.nn import summarize
+
+        text = summarize(get_model("ResNet18"))
+        assert "ResNet18: 21 layers" in text
+        assert "conv1" in text and "fc" in text
+        assert "peak single-layer working set" in text
+
+    def test_summarize_respects_data_width(self):
+        from repro.arch import AcceleratorSpec
+        from repro.nn import summarize
+
+        text = summarize(get_model("MobileNet"), AcceleratorSpec(data_width_bits=16))
+        assert "at 16-bit" in text
