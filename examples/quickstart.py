@@ -2,8 +2,10 @@
 
 Reproduces the paper's headline experiment in a few lines: plan ResNet18
 on the reference accelerator (16×16 PEs, 512 OPs/cycle, 8-bit data,
-16 elements/cycle DRAM bandwidth) with a 64 kB unified global buffer, and
-compare against the SCALE-Sim-style separate-buffer baselines.
+16 elements/cycle DRAM bandwidth) with a 64 kB unified global buffer,
+statically verify the plan against the invariant catalog (the same checks
+``repro verify`` runs), and compare against the SCALE-Sim-style
+separate-buffer baselines.
 
 Run:  python examples/quickstart.py
 """
@@ -34,6 +36,13 @@ def main() -> None:
             f"mem={assignment.memory_bytes / 1024:6.1f} kB "
             f"(i/f/o tiles: {tiles.ifmap}/{tiles.filters}/{tiles.ofmap} elems)"
         )
+
+    # Static plan verification (docs/verification.md): capacity, traffic
+    # and MAC conservation, donation chains, GLB address-map realizability.
+    # `manager.plan(..., verify=True)` would raise instead of reporting.
+    report = manager.verify(plan)
+    print(f"\nstatic verification: {report.render()}")
+    report.raise_if_failed()
 
     print("\noff-chip accesses:")
     for label, result in comparison.baselines.items():

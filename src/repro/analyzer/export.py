@@ -15,12 +15,14 @@ from pathlib import Path
 from typing import Any
 
 from ..arch.spec import AcceleratorSpec
-from .plan import ExecutionPlan
+from .plan import ExecutionPlan, LayerAssignment
 
 EXPORT_SCHEMA = 1
 
 
-def assignment_to_dict(assignment, spec: AcceleratorSpec) -> dict[str, Any]:
+def assignment_to_dict(
+    assignment: LayerAssignment, spec: AcceleratorSpec
+) -> dict[str, Any]:
     """Serialize one layer assignment."""
     plan = assignment.evaluation.plan
     b = spec.bytes_per_elem
@@ -80,7 +82,7 @@ def save_plan(plan: ExecutionPlan, path: str | Path) -> None:
 
 def load_plan_dict(path: str | Path) -> dict[str, Any]:
     """Read a previously exported plan (as a dict; schema-checked)."""
-    data = json.loads(Path(path).read_text())
+    data: dict[str, Any] = json.loads(Path(path).read_text())
     if data.get("schema") != EXPORT_SCHEMA:
         raise ValueError(f"unsupported plan schema {data.get('schema')}")
     return data

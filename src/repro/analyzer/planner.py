@@ -12,6 +12,11 @@ Prefetch variants: within a scheme each layer may use the policy with or
 without prefetching (Table 4 writes "policy 1 (+p)" when both occur);
 ``allow_prefetch=False`` reproduces the prefetch-disabled reference of
 Fig. 10.  ``interlayer=True`` enables the §5.4 chain DP.
+
+Every planner accepts ``verify=True`` (a debug mode): the emitted plan is
+statically checked against the :mod:`repro.verify` invariant catalog and a
+:class:`~repro.verify.PlanVerificationError` is raised if any invariant is
+violated — turning planner bugs into hard failures at the source.
 """
 
 from __future__ import annotations
@@ -47,6 +52,16 @@ def candidate_evaluations(
     ]
 
 
+def _maybe_verify(plan: ExecutionPlan, verify: bool) -> ExecutionPlan:
+    """Run the static verifier over a fresh plan when requested."""
+    if verify:
+        # Imported lazily: repro.verify consumes this module's output types.
+        from ..verify import check_plan
+
+        check_plan(plan)
+    return plan
+
+
 def plan_heterogeneous(
     model: Model,
     spec: AcceleratorSpec,
@@ -55,6 +70,7 @@ def plan_heterogeneous(
     allow_prefetch: bool = True,
     interlayer: bool = False,
     interlayer_mode: str = "opportunistic",
+    verify: bool = False,
 ) -> ExecutionPlan:
     """The ``Het`` scheme: best policy per layer (Algorithm 1).
 
@@ -84,12 +100,15 @@ def plan_heterogeneous(
             scheme = "het+il(joint)"
         else:
             raise ValueError(f"unknown interlayer_mode {interlayer_mode!r}")
-    return ExecutionPlan(
-        model=model,
-        spec=spec,
-        objective=objective,
-        scheme=scheme,
-        assignments=tuple(assignments),
+    return _maybe_verify(
+        ExecutionPlan(
+            model=model,
+            spec=spec,
+            objective=objective,
+            scheme=scheme,
+            assignments=tuple(assignments),
+        ),
+        verify,
     )
 
 
@@ -100,6 +119,7 @@ def plan_homogeneous(
     objective: Objective = Objective.ACCESSES,
     *,
     allow_prefetch: bool = True,
+    verify: bool = False,
 ) -> ExecutionPlan | None:
     """The homogeneous scheme for one policy family (e.g. ``"p1"``).
 
@@ -123,12 +143,15 @@ def plan_homogeneous(
         if not evs:
             return None
         assignments.append(make_assignment(i, select_policy(evs, objective), spec))
-    return ExecutionPlan(
-        model=model,
-        spec=spec,
-        objective=objective,
-        scheme=f"hom({family})",
-        assignments=tuple(assignments),
+    return _maybe_verify(
+        ExecutionPlan(
+            model=model,
+            spec=spec,
+            objective=objective,
+            scheme=f"hom({family})",
+            assignments=tuple(assignments),
+        ),
+        verify,
     )
 
 
@@ -138,6 +161,7 @@ def best_homogeneous(
     objective: Objective = Objective.ACCESSES,
     *,
     allow_prefetch: bool = True,
+    verify: bool = False,
 ) -> ExecutionPlan:
     """The ``Hom`` scheme: the best single-policy plan for the objective."""
     best: ExecutionPlan | None = None
@@ -153,4 +177,4 @@ def best_homogeneous(
             best, best_key = plan, key
     if best is None:
         raise ValueError(f"{model.name}: no homogeneous scheme is feasible")
-    return best
+    return _maybe_verify(best, verify)

@@ -13,7 +13,7 @@ bandwidth of 16 elements per cycle.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .units import kib
 

@@ -46,6 +46,19 @@ def _resolve_model(name_or_path: str) -> Model:
     )
 
 
+def _parse_glb_list(text: str) -> list[int]:
+    """Parse a ``64,128,256`` kB list into byte sizes."""
+    try:
+        sizes = [kib(int(s)) for s in text.split(",")]
+    except ValueError:
+        raise SystemExit(
+            f"error: --glb-list must be comma-separated kB integers, got {text!r}"
+        ) from None
+    if not sizes or any(size <= 0 for size in sizes):
+        raise SystemExit(f"error: --glb-list sizes must be positive, got {text!r}")
+    return sizes
+
+
 def _spec_from_args(args: argparse.Namespace) -> AcceleratorSpec:
     return AcceleratorSpec(
         glb_bytes=kib(args.glb),
@@ -220,9 +233,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     model = _resolve_model(args.model)
     sizes = (
-        [kib(int(s)) for s in args.glb_list.split(",")]
-        if args.glb_list
-        else list(PAPER_GLB_SIZES)
+        _parse_glb_list(args.glb_list) if args.glb_list else list(PAPER_GLB_SIZES)
     )
     points = glb_sweep(model, sizes, Objective(args.objective))
     print(
@@ -314,6 +325,76 @@ def cmd_pareto(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Statically verify plans against the invariant catalog (V0xx codes)."""
+    from .verify import CODE_TITLES, describe, verify_network
+
+    if args.list_codes:
+        table = Table(title="Diagnostic codes", headers=["Code", "Title", "Invariant"])
+        for code, title in sorted(CODE_TITLES.items()):
+            table.add_row(code, title, describe(code))
+        print(table.render())
+        return 0
+
+    if args.all:
+        names = list(PAPER_MODEL_NAMES)
+    elif args.model:
+        names = [args.model]
+    else:
+        raise SystemExit("error: give a model name/path or --all")
+    models = [_resolve_model(name) for name in names]
+    sizes = (
+        _parse_glb_list(args.glb_list)
+        if args.glb_list
+        else (list(PAPER_GLB_SIZES) if args.all else [kib(args.glb)])
+    )
+    schemes: list[tuple[str, bool]] = [("het", False), ("het", True)]
+    if args.scheme != "het":
+        schemes = [(args.scheme, False)]
+
+    table = Table(
+        title=f"Plan verification, objective={args.objective}",
+        headers=["Model", "GLB kB", "Scheme", "Checks", "Diagnostics", "Status"],
+    )
+    failures = []
+    for model in models:
+        for glb in sizes:
+            spec = AcceleratorSpec(
+                glb_bytes=glb,
+                data_width_bits=args.width,
+                ops_per_cycle=args.ops,
+                dram_bandwidth_elems_per_cycle=args.bandwidth,
+            )
+            for scheme, interlayer in schemes:
+                result = verify_network(
+                    model,
+                    spec,
+                    scheme=scheme,
+                    objective=Objective(args.objective),
+                    interlayer=interlayer,
+                )
+                report = result.report
+                table.add_row(
+                    model.name,
+                    glb // 1024,
+                    result.scheme,
+                    report.checks,
+                    len(report.diagnostics),
+                    "ok" if report.ok else "FAILED",
+                )
+                if not report.ok:
+                    failures.append(report)
+    print(table.render())
+    for report in failures:
+        print()
+        print(report.render())
+    if failures:
+        print(f"\n{len(failures)} plan(s) FAILED verification")
+        return 1
+    print("\nall plans verified: every invariant holds")
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Forward to the experiments runner."""
     from .experiments.runner import main as experiments_main
@@ -395,6 +476,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=11)
     p.set_defaults(func=cmd_pareto)
 
+    p = sub.add_parser("verify", help="statically verify plans (V0xx diagnostics)")
+    p.add_argument("model", nargs="?", help="zoo model or JSON path")
+    p.add_argument("--all", action="store_true", help="all six paper networks")
+    p.add_argument("--glb-list", metavar="KB,KB,...", help="sizes in kB")
+    _add_spec_args(p)
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.add_argument(
+        "--scheme",
+        default="het",
+        help='het (also verifies het+il), hom, or "hom(<family>)"',
+    )
+    p.add_argument("--list-codes", action="store_true", help="print the catalog")
+    p.set_defaults(func=cmd_verify)
+
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("artifacts", nargs="*")
     p.add_argument("--csv", metavar="DIR")
@@ -406,7 +501,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    status: int = args.func(args)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,11 +29,15 @@ finding: the heterogeneous scheme sits essentially *on* the lower bound
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..arch.spec import AcceleratorSpec
 from ..nn.layer import LayerSpec
 from ..nn.model import Model
 from ..policies.base import Policy
+
+if TYPE_CHECKING:  # imported lazily to avoid an analyzer<->estimators cycle
+    from ..analyzer.plan import ExecutionPlan
 
 
 @dataclass(frozen=True)
@@ -106,7 +110,7 @@ class OptimalityGap:
         return 100.0 * (self.ratio - 1.0)
 
 
-def optimality_gap(plan, *, interlayer: bool = False) -> OptimalityGap:
+def optimality_gap(plan: "ExecutionPlan", *, interlayer: bool = False) -> OptimalityGap:
     """Measure a plan against the applicable lower bound."""
     bound = (
         model_bound_interlayer(plan.model, plan.spec)

@@ -22,7 +22,9 @@ from ..analyzer import Objective, plan_heterogeneous
 from ..analyzer.algorithm1 import select_policy
 from ..analyzer.plan import ExecutionPlan, make_assignment
 from ..analyzer.planner import candidate_evaluations
+from ..arch.spec import AcceleratorSpec
 from ..arch.units import reduction_pct
+from ..nn.model import Model
 from ..nn.zoo import get_model
 from ..report.table import Table
 from ..scalesim.config import Dataflow
@@ -112,7 +114,9 @@ class FallbackAblationRow:
         return 100.0 * (1.0 - self.with_search_mib / self.named_only_mib)
 
 
-def _het_named_only(model, spec, objective=Objective.ACCESSES) -> ExecutionPlan:
+def _het_named_only(
+    model: Model, spec: AcceleratorSpec, objective: Objective = Objective.ACCESSES
+) -> ExecutionPlan:
     """Heterogeneous plan where the tile search only rescues layers no
     named policy can fit (Algorithm 1 as literally written)."""
     candidates = candidate_evaluations(model, spec, always_fallback=False)

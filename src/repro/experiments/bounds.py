@@ -15,7 +15,7 @@ from ..analyzer import Objective
 from ..estimators.bounds import model_bound, model_bound_interlayer, optimality_gap
 from ..nn.zoo import get_model
 from ..report.table import Table
-from .common import GLB_SIZES_KB, all_model_names, het_plan, spec_for
+from .common import all_model_names, het_plan, spec_for
 
 
 @dataclass(frozen=True)

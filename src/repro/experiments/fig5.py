@@ -13,11 +13,15 @@ buffer sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..analyzer import Objective
 from ..arch.units import to_mib
 from ..report.table import Table
 from .common import GLB_SIZES_KB, all_model_names, baseline_results, het_plan, hom_plan
+
+if TYPE_CHECKING:
+    from ..report.chart import BarChart
 
 SCHEMES = ("sa_25_75", "sa_50_50", "sa_75_25", "hom", "het")
 
@@ -84,7 +88,7 @@ def to_table(cells: list[Fig5Cell]) -> Table:
     return table
 
 
-def to_chart(cells: list[Fig5Cell], glb_kb: int = 64):
+def to_chart(cells: list[Fig5Cell], glb_kb: int = 64) -> "BarChart":
     """Grouped bar chart of one GLB column (terminal rendering of Fig. 5)."""
     from ..report.chart import bar_chart
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analyzer import Objective
-from ..arch.units import kib, to_kib
+from ..arch.units import to_kib
 from ..report.table import Table
 from .common import het_plan
 

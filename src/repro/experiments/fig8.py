@@ -13,10 +13,14 @@ beats ``Het_a`` by up to 19 % (MobileNet, 64 kB).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..analyzer import Objective
 from ..report.table import Table
 from .common import GLB_SIZES_KB, all_model_names, baseline_results, het_plan, hom_plan
+
+if TYPE_CHECKING:
+    from ..report.chart import BarChart
 
 
 @dataclass(frozen=True)
@@ -95,7 +99,7 @@ def to_table(cells: list[Fig8Cell]) -> Table:
     return table
 
 
-def to_chart(cells: list[Fig8Cell], glb_kb: int = 64):
+def to_chart(cells: list[Fig8Cell], glb_kb: int = 64) -> "BarChart":
     """Grouped bar chart of one GLB column (terminal rendering of Fig. 8)."""
     from ..report.chart import bar_chart
 

@@ -35,6 +35,7 @@ from .nn.layer import LayerSpec
 from .nn.model import Model
 from .scalesim.presets import baseline_configs
 from .scalesim.simulator import SimulationResult, simulate
+from .verify import VerificationReport, verify_plan
 
 
 @dataclass(frozen=True)
@@ -64,7 +65,7 @@ class BaselineComparison:
 class MemoryManager:
     """Scratchpad memory manager for a fixed accelerator specification."""
 
-    def __init__(self, spec: AcceleratorSpec):
+    def __init__(self, spec: AcceleratorSpec) -> None:
         self.spec = spec
 
     # ------------------------------------------------------------------
@@ -80,11 +81,15 @@ class MemoryManager:
         prefetch: bool = True,
         interlayer: bool = False,
         interlayer_mode: str = "opportunistic",
+        verify: bool = False,
     ) -> ExecutionPlan:
         """Produce an execution plan.
 
         ``scheme`` is ``"het"`` (Algorithm 1 per layer), ``"hom"`` (best
         single policy family) or ``"hom(<family>)"`` for a specific family.
+        ``verify=True`` statically checks the emitted plan against the
+        :mod:`repro.verify` invariant catalog and raises
+        :class:`~repro.verify.PlanVerificationError` on any violation.
         """
         if scheme == "het":
             return plan_heterogeneous(
@@ -94,12 +99,13 @@ class MemoryManager:
                 allow_prefetch=prefetch,
                 interlayer=interlayer,
                 interlayer_mode=interlayer_mode,
+                verify=verify,
             )
         if interlayer:
             raise ValueError("inter-layer reuse is only supported for the het scheme")
         if scheme == "hom":
             return best_homogeneous(
-                model, self.spec, objective, allow_prefetch=prefetch
+                model, self.spec, objective, allow_prefetch=prefetch, verify=verify
             )
         if scheme.startswith("hom(") and scheme.endswith(")"):
             plan = plan_homogeneous(
@@ -108,11 +114,21 @@ class MemoryManager:
                 scheme[4:-1],
                 objective,
                 allow_prefetch=prefetch,
+                verify=verify,
             )
             if plan is None:
                 raise ValueError(f"{scheme} cannot fit {model.name} in this GLB")
             return plan
         raise ValueError(f"unknown scheme {scheme!r}")
+
+    def verify(self, plan: ExecutionPlan) -> VerificationReport:
+        """Statically verify a plan against the invariant catalog.
+
+        Returns the :class:`~repro.verify.VerificationReport`; inspect
+        ``report.ok`` / ``report.diagnostics`` or call
+        ``report.raise_if_failed()``.
+        """
+        return verify_plan(plan)
 
     def plan_from_file(self, path: str | Path, **kwargs: Any) -> ExecutionPlan:
         """Plan a model loaded from a JSON description (Fig. 4 input)."""

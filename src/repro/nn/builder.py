@@ -45,7 +45,7 @@ def same_padding(filt: int) -> int:
 class ModelBuilder:
     """Incrementally constructs a :class:`~repro.nn.model.Model`."""
 
-    def __init__(self, name: str, input_shape: tuple[int, int, int]):
+    def __init__(self, name: str, input_shape: tuple[int, int, int]) -> None:
         h, w, c = input_shape
         self.name = name
         self._layers: list[LayerSpec] = []

@@ -17,7 +17,7 @@ boundary through the :class:`~repro.arch.AcceleratorSpec`.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..arch.units import ceil_div
 from ..nn.layer import LayerSpec

@@ -24,7 +24,7 @@ introduction, and the scheduler quantifies its cost side.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..analyzer.plan import ExecutionPlan, make_assignment
 

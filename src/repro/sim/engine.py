@@ -38,7 +38,7 @@ from typing import Iterator
 
 from ..arch.spec import AcceleratorSpec
 from ..analyzer.plan import ExecutionPlan, LayerAssignment, transformed_schedule
-from ..policies.base import LayerSchedule, StepGroup
+from ..policies.base import LayerSchedule
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,7 @@ ofmap ``(O_H, O_W, C_O)``.  All math is float64.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -84,14 +85,19 @@ class _Dram:
         self.counter.ifmap_reads += block.shape[0] * len(self.tcols) * nchans
         return block
 
-    def fetch_grid(self, rows, cols, channels: slice | None = None) -> None:
+    def fetch_grid(
+        self,
+        rows: Sequence[int],
+        cols: Sequence[int],
+        channels: slice | None = None,
+    ) -> None:
         """Fetch (count) the submatrix at the given row/col index lists."""
         block = self.padded_ifmap[np.ix_(rows, cols)]
         if channels is not None:
             block = block[:, :, channels]
         self.counter.ifmap_reads += block.size
 
-    def fetch_filters(self, selector) -> np.ndarray:
+    def fetch_filters(self, selector: Any) -> np.ndarray:
         """Fetch a filter sub-tensor (numpy index into the filter array)."""
         block = self.filters[selector]
         self.counter.filter_reads += block.size

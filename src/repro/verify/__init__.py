@@ -1,0 +1,47 @@
+"""Static plan verification: formal invariants checked without simulation.
+
+The analyzer accepts a policy whenever its Eq. (1)/(2) footprint fits the
+GLB; this package independently *proves* the emitted plans consistent —
+capacity (with prefetch doubling and inter-layer resident regions),
+traffic and MAC conservation against the streaming schedules, the paper's
+ifmap load-multiplicity table, donation-chain legality, and address-level
+realizability cross-checked against :mod:`repro.sim.glb`.
+
+Violations are structured :class:`Diagnostic` records with stable ``V0xx``
+codes (see :mod:`repro.verify.codes` and ``docs/verification.md``).  Entry
+points: :func:`verify_plan`, :func:`verify_candidate`, :func:`check_plan`
+(raising), and the ``repro verify`` CLI subcommand.
+"""
+
+from .codes import ALL_CODES, CODE_DESCRIPTIONS, CODE_TITLES, describe
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    PlanVerificationError,
+    Severity,
+    VerificationReport,
+)
+from .verifier import (
+    NetworkVerification,
+    check_plan,
+    verify_candidate,
+    verify_network,
+    verify_plan,
+)
+
+__all__ = [
+    "ALL_CODES",
+    "CODE_DESCRIPTIONS",
+    "CODE_TITLES",
+    "describe",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "PlanVerificationError",
+    "Severity",
+    "VerificationReport",
+    "NetworkVerification",
+    "check_plan",
+    "verify_candidate",
+    "verify_network",
+    "verify_plan",
+]

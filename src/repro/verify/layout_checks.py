@@ -1,0 +1,98 @@
+"""Layout realizability: every plan must admit a GLB address map.
+
+Aggregate feasibility (Eq. (1)/(2)) proves the byte *counts* fit; it
+cannot see packing constraints — double-buffered slots, donated regions
+surviving layer transitions, a receive+donate layer hosting both
+persistent regions at once.  :func:`repro.sim.glb.layout_plan` constructs
+an actual address map; these checks run it (V014) and then independently
+re-verify the construction (V015/V016), so a bug in the allocator cannot
+silently vouch for itself.
+"""
+
+from __future__ import annotations
+
+from ..analyzer.plan import ExecutionPlan
+from ..sim.glb import AllocationError, LayerLayout, layout_plan
+from .diagnostics import DiagnosticCollector
+
+
+def check_layout(
+    out: DiagnosticCollector,
+    plan: ExecutionPlan,
+    layouts: list[LayerLayout] | None = None,
+) -> None:
+    """V014–V016: the plan lays out, and the layout is self-consistent.
+
+    ``layouts`` injects a precomputed address map (tests use this to
+    exercise the independent re-checks); by default the map is built with
+    :func:`~repro.sim.glb.layout_plan`.
+    """
+    if layouts is None:
+        try:
+            layouts = layout_plan(plan)
+        except AllocationError as exc:
+            out.check(False, "V014", f"no GLB address map exists: {exc}")
+            return
+        out.check(True, "V014", "layout constructed")
+
+    glb = plan.spec.glb_bytes
+    b = plan.spec.bytes_per_elem
+    for i, layout in enumerate(layouts):
+        where = {"layer_index": i, "layer_name": layout.layer_name, "policy": layout.policy}
+        for region in layout.regions:
+            out.check(
+                0 <= region.offset and region.end <= glb,
+                "V015",
+                f"region {region.name} lies outside the GLB",
+                expected=f"[0, {glb})",
+                actual=f"[{region.offset}, {region.end})",
+                **where,
+            )
+        for j, a in enumerate(layout.regions):
+            for c in layout.regions[j + 1 :]:
+                out.check(
+                    not a.overlaps(c),
+                    "V015",
+                    f"regions {a.name} and {c.name} overlap",
+                    actual=f"[{a.offset},{a.end}) vs [{c.offset},{c.end})",
+                    **where,
+                )
+
+    # V016 — donated regions thread across transitions: the receiver's
+    # resident-ifmap range must be exactly the range the producer wrote.
+    for i in range(1, min(len(layouts), len(plan.assignments))):
+        if not plan.assignments[i].receives:
+            continue
+        producer, receiver = layouts[i - 1], layouts[i]
+        where = {
+            "layer_index": i,
+            "layer_name": receiver.layer_name,
+            "policy": receiver.policy,
+        }
+        if not out.check(
+            producer.donated_offset is not None,
+            "V016",
+            "receiver has no producer-donated region to inherit",
+            **where,
+        ):
+            continue
+        try:
+            incoming = receiver.region("ifmap(donated)")
+        except KeyError:
+            out.check(
+                False,
+                "V016",
+                "receiving layer's layout has no ifmap(donated) region",
+                **where,
+            )
+            continue
+        expected_size = plan.assignments[i].layer.ifmap_elems * b
+        out.check(
+            incoming.offset == producer.donated_offset
+            and incoming.size == expected_size,
+            "V016",
+            "donated region address/size does not match the producer's",
+            expected=f"offset {producer.donated_offset}, {expected_size} B",
+            actual=f"offset {incoming.offset}, {incoming.size} B",
+            **where,
+        )

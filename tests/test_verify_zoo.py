@@ -1,0 +1,62 @@
+"""Acceptance gate: every paper network verifies under every paper GLB.
+
+The full matrix (six zoo networks × five Table 3 GLB sizes) is planned
+with the heterogeneous scheme plus inter-layer reuse — the configuration
+the paper's headline results use — and must produce zero diagnostics.
+The cheaper schemes (homogeneous, joint-DP inter-layer, latency
+objective) are spot-checked on a subset to keep the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import Objective
+from repro.arch import kib
+from repro.arch.spec import PAPER_GLB_SIZES, AcceleratorSpec
+from repro.nn.zoo import PAPER_MODEL_NAMES, get_model
+from repro.verify import verify_network
+
+MODEL_NAMES = tuple(sorted(PAPER_MODEL_NAMES))
+GLB_SIZES_KB = tuple(size // kib(1) for size in PAPER_GLB_SIZES)
+
+
+@pytest.mark.parametrize("glb_kb", GLB_SIZES_KB)
+@pytest.mark.parametrize("name", MODEL_NAMES)
+def test_het_interlayer_matrix_verifies(name: str, glb_kb: int) -> None:
+    outcome = verify_network(
+        get_model(name),
+        AcceleratorSpec(glb_bytes=kib(glb_kb)),
+        interlayer=True,
+    )
+    assert outcome.ok, outcome.report.render()
+    assert outcome.report.checks > 0
+
+
+@pytest.mark.parametrize("name", ("ResNet18", "MobileNet"))
+def test_homogeneous_scheme_verifies(name: str) -> None:
+    outcome = verify_network(
+        get_model(name), AcceleratorSpec(glb_bytes=kib(256)), scheme="hom"
+    )
+    assert outcome.ok, outcome.report.render()
+
+
+@pytest.mark.parametrize("name", ("MobileNetV2", "GoogLeNet"))
+def test_joint_interlayer_mode_verifies(name: str) -> None:
+    outcome = verify_network(
+        get_model(name),
+        AcceleratorSpec(glb_bytes=kib(64)),
+        interlayer=True,
+        interlayer_mode="joint",
+    )
+    assert outcome.ok, outcome.report.render()
+
+
+@pytest.mark.parametrize("name", ("MnasNet", "EfficientNetB0"))
+def test_latency_objective_verifies(name: str) -> None:
+    outcome = verify_network(
+        get_model(name),
+        AcceleratorSpec(glb_bytes=kib(128)),
+        objective=Objective.LATENCY,
+    )
+    assert outcome.ok, outcome.report.render()
