@@ -4,9 +4,18 @@ Each benchmark regenerates one paper artifact end to end.  The experiment
 layer memoizes plans (`lru_cache`), which is right for interactive use but
 would let later benchmark rounds measure cache hits; ``fresh`` clears all
 caches so every measured round does the full analysis.
+
+Every benchmark session additionally emits ``BENCH_dram.json`` next to the
+repository root: the wall-clock time to plan ResNet18 at a 1 MiB GLB on a
+DRAM-backed spec plus the banked-DRAM simulated transfer cycles per
+mapping policy.  CI uploads the file so the repo has a perf trajectory.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import pytest
 
@@ -30,3 +39,40 @@ def run_once(benchmark, fn, *args, **kwargs):
     """Run ``fn`` once under pytest-benchmark (sweeps are too heavy for
     statistical rounds; one round still yields a timing row)."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def _dram_benchmark_record() -> dict:
+    from repro.arch import AcceleratorSpec, mib
+    from repro.dram import DEFAULT_DDR4_SPEC, MAPPING_NAMES, simulate_plan_dram
+    from repro.manager import MemoryManager
+    from repro.nn.zoo import get_model
+
+    spec = AcceleratorSpec(glb_bytes=mib(1)).with_dram(DEFAULT_DDR4_SPEC)
+    model = get_model("ResNet18")
+    start = time.perf_counter()
+    plan = MemoryManager(spec).plan(model, interlayer=True)
+    plan_seconds = time.perf_counter() - start
+    mappings = {}
+    for name in MAPPING_NAMES:
+        stats = simulate_plan_dram(plan, mapping=name).total
+        mappings[name] = {
+            "cycles": stats.cycles,
+            "ideal_cycles": stats.ideal_cycles,
+            "row_hit_rate": stats.row_hit_rate,
+            "energy_pj": stats.energy_pj,
+        }
+    return {
+        "model": model.name,
+        "glb_bytes": spec.glb_bytes,
+        "plan_seconds": plan_seconds,
+        "plan_latency_cycles": plan.total_latency_cycles,
+        "dram": mappings,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_dram.json`` at the repo root after every benchmark run."""
+    if exitstatus != 0 or session.config.option.collectonly:
+        return
+    out = Path(__file__).resolve().parent.parent / "BENCH_dram.json"
+    out.write_text(json.dumps(_dram_benchmark_record(), indent=2) + "\n")

@@ -54,6 +54,26 @@ def main() -> None:
         f"(paper reports 79.8% for ResNet18 at 64 kB)"
     )
 
+    # The numbers above price DRAM at the paper's flat 16 elements/cycle.
+    # Re-time one layer against the banked row-buffer model (docs/dram.md)
+    # to see what that abstraction hides.
+    from repro import DEFAULT_DDR4_SPEC
+    from repro.estimators import schedule_latency
+
+    first = plan.assignments[0]
+    schedule = first.evaluation.plan.schedule
+    from dataclasses import replace
+
+    flat_lat = schedule_latency(schedule, spec, first.prefetch, layer=first.layer)
+    print(f"\nDRAM timing for {first.layer.name} ({first.label}):")
+    print(f"  flat 16 B/cycle model        : {flat_lat.total_cycles:12.1f} cycles")
+    for mapping in ("row_major", "bank_interleaved"):
+        banked = spec.with_dram(replace(DEFAULT_DDR4_SPEC, mapping=mapping))
+        lat = schedule_latency(schedule, banked, first.prefetch, layer=first.layer)
+        overhead = (lat.total_cycles / flat_lat.total_cycles - 1) * 100
+        print(f"  banked, {mapping:20s} : {lat.total_cycles:12.1f} cycles "
+              f"(+{overhead:.2f}% from row misses)")
+
 
 if __name__ == "__main__":
     main()

@@ -9,6 +9,7 @@ Public API tour
 * :mod:`repro.policies` — the scratchpad management policies (§3.2).
 * :mod:`repro.estimators` — per-layer memory/accesses/latency estimates.
 * :mod:`repro.analyzer` — Algorithm 1, Hom/Het planners, inter-layer reuse.
+* :mod:`repro.dram` — banked DRAM model (mapping policies, trace backend).
 * :mod:`repro.scalesim` — the separate-buffer baseline simulator.
 * :mod:`repro.sim` — step-level simulator validating the estimators.
 * :mod:`repro.experiments` — regeneration of every paper table and figure.
@@ -33,6 +34,7 @@ from .analyzer import (
     plan_homogeneous,
 )
 from .arch import PAPER_GLB_SIZES, AcceleratorSpec
+from .dram import DEFAULT_DDR4_SPEC, DramSpec
 from .estimators import PolicyEvaluation, evaluate_layer
 from .nn import LayerKind, LayerSpec, Model, ModelBuilder
 
@@ -41,6 +43,8 @@ __version__ = "1.0.0"
 __all__ = [
     "AcceleratorSpec",
     "PAPER_GLB_SIZES",
+    "DramSpec",
+    "DEFAULT_DDR4_SPEC",
     "Objective",
     "ExecutionPlan",
     "plan_heterogeneous",

@@ -119,7 +119,7 @@ def make_assignment(
     reads = (0 if receives else traffic.ifmap_reads) + traffic.filter_reads + traffic.ofmap_spills
     writes = (0 if donates else traffic.ofmap_writes) + traffic.ofmap_spills
     schedule = transformed_schedule(plan.schedule, receives, donates)
-    latency = schedule_latency(schedule, spec, plan.prefetch)
+    latency = schedule_latency(schedule, spec, plan.prefetch, layer=plan.layer)
     return LayerAssignment(
         index=index,
         layer=plan.layer,

@@ -14,8 +14,12 @@ bandwidth of 16 elements per cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from .units import kib
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..dram.spec import DramSpec
 
 #: GLB sizes evaluated throughout the paper (§4), in bytes.
 PAPER_GLB_SIZES = (kib(64), kib(128), kib(256), kib(512), kib(1024))
@@ -45,6 +49,12 @@ class AcceleratorSpec:
         Off-chip bandwidth expressed in *elements* per cycle (the paper fixes
         16 elements/cycle, matching the maximum average bandwidth it measured
         for the SCALE-Sim baseline).
+    dram:
+        Optional banked-DRAM device model (:class:`~repro.dram.DramSpec`).
+        ``None`` — the default — keeps the flat-bandwidth model everywhere,
+        bit-identical to the paper's figures; when set, the latency
+        estimator, the step-level engine and the energy model price
+        off-chip traffic through the row-buffer backend instead.
     """
 
     pe_rows: int = 16
@@ -53,21 +63,33 @@ class AcceleratorSpec:
     data_width_bits: int = 8
     glb_bytes: int = kib(256)
     dram_bandwidth_elems_per_cycle: float = 16.0
+    dram: DramSpec | None = None
 
     def __post_init__(self) -> None:
+        problems = []
         if self.pe_rows <= 0 or self.pe_cols <= 0:
-            raise ValueError("PE array dimensions must be positive")
+            problems.append(
+                f"PE array dimensions must be positive, got "
+                f"{self.pe_rows}x{self.pe_cols}"
+            )
         if self.ops_per_cycle <= 0:
-            raise ValueError("ops_per_cycle must be positive")
+            problems.append(
+                f"ops_per_cycle must be positive, got {self.ops_per_cycle}"
+            )
         if self.data_width_bits % 8 != 0 or self.data_width_bits <= 0:
-            raise ValueError(
+            problems.append(
                 f"data_width_bits must be a positive multiple of 8, got "
                 f"{self.data_width_bits}"
             )
         if self.glb_bytes <= 0:
-            raise ValueError("glb_bytes must be positive")
+            problems.append(f"glb_bytes must be positive, got {self.glb_bytes}")
         if self.dram_bandwidth_elems_per_cycle <= 0:
-            raise ValueError("dram_bandwidth_elems_per_cycle must be positive")
+            problems.append(
+                f"dram_bandwidth_elems_per_cycle must be positive, got "
+                f"{self.dram_bandwidth_elems_per_cycle}"
+            )
+        if problems:
+            raise ValueError("invalid AcceleratorSpec: " + "; ".join(problems))
 
     @property
     def bytes_per_elem(self) -> int:
@@ -101,6 +123,10 @@ class AcceleratorSpec:
     def with_data_width(self, bits: int) -> "AcceleratorSpec":
         """Return a copy of this spec with a different element width."""
         return replace(self, data_width_bits=bits)
+
+    def with_dram(self, dram: DramSpec | None) -> "AcceleratorSpec":
+        """Return a copy backed by ``dram`` (``None`` restores flat mode)."""
+        return replace(self, dram=dram)
 
     def transfer_cycles(self, nbytes: float) -> float:
         """Cycles to move ``nbytes`` across the off-chip interface."""

@@ -9,6 +9,7 @@ Usage::
     python -m repro baseline ResNet18 --glb 64     # the three sa_* baselines
     python -m repro compare ResNet18 --glb 64      # plan vs baselines
     python -m repro sweep ResNet18 --glb 64,128,256,512,1024
+    python -m repro dram ResNet18 --glb 256        # DRAM mapping-policy sweep
     python -m repro experiments fig5 table3        # regenerate paper artifacts
 
 Model arguments accept either a zoo name or a path to a JSON model
@@ -395,6 +396,60 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dram(args: argparse.Namespace) -> int:
+    """Sweep DRAM data-mapping policies over each network's plan."""
+    from .dram import DEFAULT_DDR4_SPEC, MAPPING_NAMES, simulate_plan_dram
+
+    if args.all:
+        names = list(PAPER_MODEL_NAMES)
+    elif args.model:
+        names = [args.model]
+    else:
+        raise SystemExit("error: give a model name/path or --all")
+    mappings = args.mappings.split(",") if args.mappings else list(MAPPING_NAMES)
+    unknown = [m for m in mappings if m not in MAPPING_NAMES]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown mapping(s) {unknown}; available: {', '.join(MAPPING_NAMES)}"
+        )
+
+    spec = _spec_from_args(args)
+    manager = MemoryManager(spec)
+    table = Table(
+        title=(
+            f"DRAM mapping sweep @ {args.glb} kB GLB, DDR4-like "
+            f"({DEFAULT_DDR4_SPEC.channels}ch x {DEFAULT_DDR4_SPEC.banks_per_channel}ba), "
+            f"objective={args.objective}"
+        ),
+        headers=[
+            "Model", "Mapping", "cycles", "ideal", "overhead",
+            "hit rate", "activations", "energy uJ",
+        ],
+    )
+    for name in names:
+        model = _resolve_model(name)
+        plan = manager.plan(model, Objective(args.objective))
+        for mapping in mappings:
+            total = simulate_plan_dram(plan, DEFAULT_DDR4_SPEC, mapping).total
+            overhead = (
+                100.0 * (total.cycles / total.ideal_cycles - 1.0)
+                if total.ideal_cycles
+                else 0.0
+            )
+            table.add_row(
+                model.name,
+                mapping,
+                int(total.cycles),
+                int(total.ideal_cycles),
+                f"{overhead:.1f}%",
+                f"{total.row_hit_rate:.4f}",
+                total.activations,
+                f"{total.energy_pj / 1e6:.1f}",
+            )
+    print(table.render())
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Forward to the experiments runner."""
     from .experiments.runner import main as experiments_main
@@ -489,6 +544,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--list-codes", action="store_true", help="print the catalog")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("dram", help="banked-DRAM mapping-policy sweep")
+    p.add_argument("model", nargs="?", help="zoo model or JSON path")
+    p.add_argument("--all", action="store_true", help="all six paper networks")
+    _add_spec_args(p)
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.add_argument(
+        "--mappings",
+        metavar="NAME,NAME,...",
+        help="mapping policies to sweep (default: all)",
+    )
+    p.set_defaults(func=cmd_dram)
 
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("artifacts", nargs="*")

@@ -1,0 +1,185 @@
+"""Trace-driven banked-DRAM backend.
+
+The backend consumes a stream of :class:`DramAccess` requests (produced
+from a policy's streaming schedule by :mod:`repro.dram.trace`), resolves
+each through a mapping policy's :class:`~repro.dram.mapping.AddressLayout`
+and replays it against a row-buffer state machine:
+
+* every access is split at row boundaries into *segments* (one
+  (channel, bank, row) touch each);
+* a segment whose row is already open in its bank proceeds at the bus
+  rate (every burst a row hit);
+* a segment targeting a different row pays precharge + activate + CAS
+  before its first burst (one row *activation*; the remaining bursts of
+  the segment are hits);
+* requests are queued ahead of time (the schedule is static), so a bank
+  can precharge/activate in the shadow of other banks' transfers — bank
+  parallelism — while each channel's data bus serializes its transfers.
+
+The result is a :class:`DramStats`: row hits/misses, activations,
+occupancy cycles per channel, effective bandwidth and per-component
+energy.  By construction ``cycles >= ideal_cycles`` (the flat
+peak-bandwidth bound) — the invariant the verifier's ``V018`` code
+re-checks for every DRAM-backed plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapping import AddressLayout, MappingPolicy, Region
+from .spec import DramSpec
+
+
+@dataclass(frozen=True)
+class DramAccess:
+    """One request of the off-chip stream (all bytes of one step chunk)."""
+
+    region: int  #: index into the layer's region tuple
+    offset: int  #: byte offset within the region
+    nbytes: int  #: request length in bytes
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.region < 0 or self.offset < 0 or self.nbytes <= 0:
+            raise ValueError("invalid DRAM access")
+
+
+@dataclass(frozen=True)
+class DramStats:
+    """Row-buffer statistics and timing of one simulated access stream."""
+
+    reads_bytes: int = 0
+    writes_bytes: int = 0
+    bursts: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    activations: int = 0
+    cycles: float = 0.0
+    ideal_cycles: float = 0.0
+    act_energy_pj: float = 0.0
+    read_energy_pj: float = 0.0
+    write_energy_pj: float = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved in either direction."""
+        return self.reads_bytes + self.writes_bytes
+
+    @property
+    def row_hit_rate(self) -> float:
+        """Fraction of bursts served from an open row."""
+        return self.row_hits / self.bursts if self.bursts else 0.0
+
+    @property
+    def stall_cycles(self) -> float:
+        """Cycles lost versus the zero-overhead peak-bandwidth bound."""
+        return max(0.0, self.cycles - self.ideal_cycles)
+
+    @property
+    def effective_bytes_per_cycle(self) -> float:
+        """Delivered bandwidth over the whole stream."""
+        return self.total_bytes / self.cycles if self.cycles else 0.0
+
+    @property
+    def energy_pj(self) -> float:
+        """Total off-chip energy (activation + read + write)."""
+        return self.act_energy_pj + self.read_energy_pj + self.write_energy_pj
+
+    def merged(self, other: "DramStats") -> "DramStats":
+        """Aggregate of two sequential streams (cycles add)."""
+        return DramStats(
+            reads_bytes=self.reads_bytes + other.reads_bytes,
+            writes_bytes=self.writes_bytes + other.writes_bytes,
+            bursts=self.bursts + other.bursts,
+            row_hits=self.row_hits + other.row_hits,
+            row_misses=self.row_misses + other.row_misses,
+            activations=self.activations + other.activations,
+            cycles=self.cycles + other.cycles,
+            ideal_cycles=self.ideal_cycles + other.ideal_cycles,
+            act_energy_pj=self.act_energy_pj + other.act_energy_pj,
+            read_energy_pj=self.read_energy_pj + other.read_energy_pj,
+            write_energy_pj=self.write_energy_pj + other.write_energy_pj,
+        )
+
+
+def combine_stats(parts: list[DramStats]) -> DramStats:
+    """Aggregate per-layer stats into plan totals (layers run in sequence)."""
+    total = DramStats()
+    for part in parts:
+        total = total.merged(part)
+    return total
+
+
+class _BankState:
+    """Open row and readiness time of one DRAM bank."""
+
+    __slots__ = ("open_row", "free_at")
+
+    def __init__(self) -> None:
+        self.open_row: int | None = None
+        self.free_at = 0.0
+
+
+def simulate_accesses(
+    accesses: list[DramAccess] | tuple[DramAccess, ...],
+    regions: tuple[Region, ...],
+    spec: DramSpec,
+    mapping: MappingPolicy,
+) -> DramStats:
+    """Replay an access stream through the row-buffer state machine."""
+    layout: AddressLayout = mapping.layout(spec, regions)
+    row_bytes = spec.row_bytes
+    burst_bytes = spec.burst_bytes
+    bus_rate = spec.channel_bytes_per_cycle
+
+    bus = [0.0] * spec.channels
+    banks: dict[tuple[int, int], _BankState] = {}
+
+    reads = writes = bursts = hits = misses = 0
+
+    for access in accesses:
+        offset = access.offset
+        remaining = access.nbytes
+        if access.write:
+            writes += access.nbytes
+        else:
+            reads += access.nbytes
+        while remaining > 0:
+            seg_bytes = min(remaining, row_bytes - offset % row_bytes)
+            channel, bank_idx, row = layout.locate(access.region, offset)
+            bank = banks.setdefault((channel, bank_idx), _BankState())
+            seg_bursts = -(-seg_bytes // burst_bytes)
+            bursts += seg_bursts
+            if bank.open_row == row:
+                hits += seg_bursts
+                start = max(bus[channel], bank.free_at)
+            else:
+                misses += 1
+                hits += seg_bursts - 1
+                penalty = spec.row_open_penalty if bank.open_row is None else (
+                    spec.row_miss_penalty
+                )
+                bank.open_row = row
+                start = max(bus[channel], bank.free_at + penalty)
+            end = start + seg_bytes / bus_rate
+            bus[channel] = end
+            bank.free_at = end
+            offset += seg_bytes
+            remaining -= seg_bytes
+
+    total_bytes = reads + writes
+    cycles = max(bus) if total_bytes else 0.0
+    return DramStats(
+        reads_bytes=reads,
+        writes_bytes=writes,
+        bursts=bursts,
+        row_hits=hits,
+        row_misses=misses,
+        activations=misses,
+        cycles=cycles,
+        ideal_cycles=total_bytes / spec.peak_bytes_per_cycle,
+        act_energy_pj=misses * spec.act_pj,
+        read_energy_pj=reads * spec.read_pj_per_byte,
+        write_energy_pj=writes * spec.write_pj_per_byte,
+    )

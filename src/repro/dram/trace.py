@@ -1,0 +1,169 @@
+"""Schedule → DRAM address stream, and per-layer DRAM simulation.
+
+The policies already emit exact per-step load/store schedules
+(:class:`~repro.policies.base.LayerSchedule`).  This module lowers one
+such schedule to the banked-DRAM access stream the backend consumes:
+
+* each operand tensor gets a row-aligned :class:`~repro.dram.mapping.Region`
+  (ifmap at its padded traffic footprint, filters, ofmap), laid out
+  contiguously the way a simple allocator would place them;
+* a cursor per region turns the per-step chunk sizes into sequential
+  addresses — ifmap and filter loads advance (and wrap, for multi-pass
+  policies), stores advance the ofmap cursor;
+* steps interleave their ifmap / filter / store chunks in issue order,
+  which is exactly what creates row-buffer conflicts under mappings that
+  let operands share banks.
+
+:func:`dram_effective_bandwidth` reduces the simulated stream to the one
+number the latency estimator and the step-level engine consume: delivered
+elements per cycle, memoized per (schedule, layer, device) because the
+planner evaluates the same candidate schedule several times.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..nn.layer import LayerSpec
+from ..policies.base import LayerSchedule
+from .backend import DramAccess, DramStats, simulate_accesses
+from .mapping import MappingPolicy, Region, get_mapping
+from .spec import DramSpec
+
+#: Region indices of the three operand streams.
+IFMAP, FILTERS, OFMAP = 0, 1, 2
+
+
+def _align_up(value: int, quantum: int) -> int:
+    return -(-value // quantum) * quantum
+
+
+def layer_regions(
+    schedule: LayerSchedule,
+    layer: LayerSpec,
+    bytes_per_elem: int,
+    dram: DramSpec,
+) -> tuple[Region, ...]:
+    """The layer's three operand regions, allocated contiguously.
+
+    Bases are row-aligned (as a page-granular allocator would place them)
+    so two operands never share a row block; sizes are the tensors' DRAM
+    footprints and ``traffic`` records the bytes the schedule actually
+    moves (the reuse-aware mapping weights bank shares by it).
+    """
+    sizes = (
+        layer.ifmap_padded_elems * bytes_per_elem,
+        layer.filter_elems * bytes_per_elem,
+        layer.ofmap_elems * bytes_per_elem,
+    )
+    traffics = (
+        schedule.total_ifmap_load * bytes_per_elem,
+        schedule.total_filter_load * bytes_per_elem,
+        schedule.total_store * bytes_per_elem,
+    )
+    names = ("ifmap", "filters", "ofmap")
+    regions = []
+    base = 0
+    for index, (name, size, traffic) in enumerate(zip(names, sizes, traffics)):
+        regions.append(
+            Region(name=name, index=index, base=base, size=size, traffic=traffic)
+        )
+        base += _align_up(size, dram.row_bytes)
+    return tuple(regions)
+
+
+def schedule_accesses(
+    schedule: LayerSchedule,
+    regions: tuple[Region, ...],
+    bytes_per_elem: int,
+) -> list[DramAccess]:
+    """Lower a streaming schedule to the DRAM request stream it implies."""
+    accesses: list[DramAccess] = []
+    cursors = [0, 0, 0]
+    sizes = [region.size for region in regions]
+
+    def emit(region: int, nbytes: int, write: bool) -> None:
+        # Sequential within the region; wraps for multi-pass re-reads.
+        remaining = nbytes
+        while remaining > 0:
+            cursor = cursors[region]
+            chunk = min(remaining, sizes[region] - cursor)
+            accesses.append(
+                DramAccess(region=region, offset=cursor, nbytes=chunk, write=write)
+            )
+            cursors[region] = (cursor + chunk) % sizes[region]
+            remaining -= chunk
+
+    if schedule.resident_ifmap:
+        emit(IFMAP, schedule.resident_ifmap * bytes_per_elem, False)
+    if schedule.resident_filters:
+        emit(FILTERS, schedule.resident_filters * bytes_per_elem, False)
+    for group in schedule.groups:
+        ifmap_bytes = group.ifmap * bytes_per_elem
+        filter_bytes = group.filters * bytes_per_elem
+        store_bytes = group.store * bytes_per_elem
+        for _ in range(group.count):
+            if ifmap_bytes:
+                emit(IFMAP, ifmap_bytes, False)
+            if filter_bytes:
+                emit(FILTERS, filter_bytes, False)
+            if store_bytes:
+                emit(OFMAP, store_bytes, True)
+    return accesses
+
+
+def simulate_schedule(
+    schedule: LayerSchedule,
+    layer: LayerSpec,
+    bytes_per_elem: int,
+    dram: DramSpec,
+    mapping: MappingPolicy | str | None = None,
+) -> DramStats:
+    """Trace-simulate one layer's schedule on the banked DRAM."""
+    policy = _resolve_mapping(dram, mapping)
+    regions = layer_regions(schedule, layer, bytes_per_elem, dram)
+    accesses = schedule_accesses(schedule, regions, bytes_per_elem)
+    return simulate_accesses(accesses, regions, dram, policy)
+
+
+def _resolve_mapping(dram: DramSpec, mapping: MappingPolicy | str | None) -> MappingPolicy:
+    if mapping is None:
+        return get_mapping(dram.mapping)
+    if isinstance(mapping, str):
+        return get_mapping(mapping)
+    return mapping
+
+
+@lru_cache(maxsize=65536)
+def _effective_bandwidth(
+    schedule: LayerSchedule,
+    layer: LayerSpec,
+    dram: DramSpec,
+    bytes_per_elem: int,
+    flat_elems_per_cycle: float,
+) -> float:
+    stats = simulate_schedule(schedule, layer, bytes_per_elem, dram)
+    if stats.cycles <= 0.0:
+        return flat_elems_per_cycle
+    total_elems = stats.total_bytes / bytes_per_elem
+    return total_elems / stats.cycles
+
+
+def dram_effective_bandwidth(
+    schedule: LayerSchedule,
+    layer: LayerSpec,
+    dram: DramSpec,
+    bytes_per_elem: int,
+    flat_elems_per_cycle: float,
+) -> float:
+    """Delivered off-chip bandwidth of the schedule, in elements/cycle.
+
+    Runs the trace-driven backend over the schedule's address stream under
+    the device's configured mapping policy and averages the delivered rate
+    over the whole stream.  Falls back to ``flat_elems_per_cycle`` for
+    schedules that move no data.  Memoized: planning evaluates the same
+    candidate schedule repeatedly (estimate, assignment, verification).
+    """
+    return _effective_bandwidth(
+        schedule, layer, dram, bytes_per_elem, flat_elems_per_cycle
+    )

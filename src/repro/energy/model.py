@@ -49,11 +49,21 @@ class EnergyModel:
 
 @dataclass(frozen=True)
 class EnergyBreakdown:
-    """Energy of one inference, split by component (picojoules)."""
+    """Energy of one inference, split by component (picojoules).
+
+    Under the flat model ``dram_pj`` is traffic × cost-per-byte and the
+    three DRAM sub-components are zero.  With a banked
+    :class:`~repro.dram.DramSpec` on the plan's accelerator, ``dram_pj``
+    is instead the trace-simulated device energy and the activation /
+    read / write split is reported alongside.
+    """
 
     dram_pj: float
     sram_pj: float
     mac_pj: float
+    dram_act_pj: float = 0.0
+    dram_read_pj: float = 0.0
+    dram_write_pj: float = 0.0
 
     @property
     def total_pj(self) -> float:
@@ -82,10 +92,29 @@ def _sram_bytes_for_macs(macs: int, dram_bytes: int, bytes_per_elem: int) -> flo
 def plan_energy(
     plan: ExecutionPlan, model: EnergyModel = DEFAULT_ENERGY_MODEL
 ) -> EnergyBreakdown:
-    """Energy of an execution plan under the cost model."""
+    """Energy of an execution plan under the cost model.
+
+    With a banked :class:`~repro.dram.DramSpec` on ``plan.spec`` the
+    off-chip component comes from the trace-driven backend (per-activation
+    plus per-byte read/write costs from the device spec) instead of the
+    flat ``dram_pj_per_byte`` constant, and the activation/read/write
+    split is populated.
+    """
     dram_bytes = plan.total_accesses_bytes
     macs = plan.model.total_macs
     sram_bytes = _sram_bytes_for_macs(macs, dram_bytes, plan.spec.bytes_per_elem)
+    if plan.spec.dram is not None:
+        from ..dram.planstats import simulate_plan_dram
+
+        stats = simulate_plan_dram(plan).total
+        return EnergyBreakdown(
+            dram_pj=stats.energy_pj,
+            sram_pj=sram_bytes * model.sram_pj_per_byte,
+            mac_pj=macs * model.mac_pj,
+            dram_act_pj=stats.act_energy_pj,
+            dram_read_pj=stats.read_energy_pj,
+            dram_write_pj=stats.write_energy_pj,
+        )
     return EnergyBreakdown(
         dram_pj=dram_bytes * model.dram_pj_per_byte,
         sram_pj=sram_bytes * model.sram_pj_per_byte,

@@ -57,8 +57,12 @@ def estimate_accesses(plan: CandidatePlan, spec: AcceleratorSpec) -> int:
 
 
 def estimate_latency(plan: CandidatePlan, spec: AcceleratorSpec) -> LatencyBreakdown:
-    """Latency of the plan under the two-resource overlap model."""
-    return schedule_latency(plan.schedule, spec, plan.prefetch)
+    """Latency of the plan under the two-resource overlap model.
+
+    DRAM-aware when ``spec.dram`` is set (the plan knows its layer, so the
+    effective-bandwidth substitution applies automatically).
+    """
+    return schedule_latency(plan.schedule, spec, plan.prefetch, layer=plan.layer)
 
 
 def _evaluate_plan(plan: CandidatePlan, spec: AcceleratorSpec) -> PolicyEvaluation:

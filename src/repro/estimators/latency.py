@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from ..arch.spec import AcceleratorSpec
+from ..dram.trace import dram_effective_bandwidth
+from ..nn.layer import LayerSpec
 from ..policies.base import LayerSchedule, StepGroup
 
 #: Recurrence state: (load-chain end, PE free time, store-chain end).
@@ -96,11 +98,38 @@ def _advance_group(
     return (l_n, p_n, s_n)
 
 
+def effective_dram_bandwidth(
+    schedule: LayerSchedule, spec: AcceleratorSpec, layer: LayerSpec | None
+) -> float:
+    """Off-chip bandwidth the schedule actually sees, in elements/cycle.
+
+    The flat constant ``spec.dram_bandwidth_elems_per_cycle`` unless the
+    spec carries a banked :class:`~repro.dram.DramSpec` *and* the layer is
+    known, in which case the schedule's address stream is trace-simulated
+    and the delivered rate (which row-buffer conflicts can push well below
+    the flat peak) is used instead.
+    """
+    flat = spec.dram_bandwidth_elems_per_cycle
+    if spec.dram is None or layer is None:
+        return flat
+    return dram_effective_bandwidth(
+        schedule, layer, spec.dram, spec.bytes_per_elem, flat
+    )
+
+
 def schedule_latency(
-    schedule: LayerSchedule, spec: AcceleratorSpec, prefetch: bool
+    schedule: LayerSchedule,
+    spec: AcceleratorSpec,
+    prefetch: bool,
+    layer: LayerSpec | None = None,
 ) -> LatencyBreakdown:
-    """Exact two-resource latency of one layer's streaming schedule."""
-    bw = spec.dram_bandwidth_elems_per_cycle
+    """Exact two-resource latency of one layer's streaming schedule.
+
+    When ``spec.dram`` is set and ``layer`` is given, the DMA port runs at
+    the trace-simulated effective bandwidth instead of the flat constant;
+    otherwise behaviour is bit-identical to the flat model.
+    """
+    bw = effective_dram_bandwidth(schedule, spec, layer)
     rate = spec.macs_per_cycle
     compute = schedule.total_macs / rate
     dma = (schedule.total_load + schedule.total_store) / bw

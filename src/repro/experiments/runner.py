@@ -13,7 +13,7 @@ from pathlib import Path
 from typing import Callable
 
 from ..report.table import Table
-from . import ablations, bounds, energy, fig1, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, resolution
+from . import ablations, bounds, dram_sweep, energy, fig1, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, resolution
 from . import table2, table3, table4
 
 #: artifact id -> callable producing its Table.
@@ -43,6 +43,7 @@ ARTIFACTS: dict[str, Callable[[], Table]] = {
     ),
     "resolution": lambda: resolution.to_table(resolution.run()),
     "bounds": lambda: bounds.to_table(bounds.run()),
+    "dram-sweep": lambda: dram_sweep.to_table(dram_sweep.run()),
 }
 
 

@@ -29,6 +29,9 @@ from .analyzer import (
     plan_homogeneous,
 )
 from .arch.spec import AcceleratorSpec
+from .dram.mapping import MappingPolicy
+from .dram.planstats import PlanDramResult, simulate_plan_dram
+from .dram.spec import DramSpec
 from .estimators.evaluate import PolicyEvaluation, evaluate_layer
 from .nn.io import load_model
 from .nn.layer import LayerSpec
@@ -129,6 +132,23 @@ class MemoryManager:
         ``report.raise_if_failed()``.
         """
         return verify_plan(plan)
+
+    def simulate_dram(
+        self,
+        plan: ExecutionPlan,
+        dram: DramSpec | None = None,
+        mapping: MappingPolicy | str | None = None,
+    ) -> PlanDramResult:
+        """Price a plan's off-chip traffic through the banked-DRAM backend.
+
+        ``dram`` defaults to this manager's spec (which must then carry a
+        :class:`~repro.dram.DramSpec`); ``mapping`` overrides the device's
+        configured data-mapping policy, e.g. to sweep alternatives over
+        one plan.
+        """
+        return simulate_plan_dram(
+            plan, dram if dram is not None else self.spec.dram, mapping
+        )
 
     def plan_from_file(self, path: str | Path, **kwargs: Any) -> ExecutionPlan:
         """Plan a model loaded from a JSON description (Fig. 4 input)."""

@@ -38,6 +38,7 @@ from typing import Iterator
 
 from ..arch.spec import AcceleratorSpec
 from ..analyzer.plan import ExecutionPlan, LayerAssignment, transformed_schedule
+from ..estimators.latency import effective_dram_bandwidth
 from ..policies.base import LayerSchedule
 
 
@@ -107,7 +108,9 @@ def simulate_assignment(
     schedule = transformed_schedule(
         plan.schedule, assignment.receives, assignment.donates
     )
-    bw = spec.dram_bandwidth_elems_per_cycle
+    # Flat bandwidth by default; trace-simulated delivered rate when the
+    # spec carries a banked DramSpec (mirrors the closed-form estimator).
+    bw = effective_dram_bandwidth(schedule, spec, plan.layer)
     rate = spec.macs_per_cycle
     prefetch = plan.prefetch
 

@@ -4,8 +4,10 @@ The analyzer accepts a policy whenever its Eq. (1)/(2) footprint fits the
 GLB; this package independently *proves* the emitted plans consistent —
 capacity (with prefetch doubling and inter-layer resident regions),
 traffic and MAC conservation against the streaming schedules, the paper's
-ifmap load-multiplicity table, donation-chain legality, and address-level
-realizability cross-checked against :mod:`repro.sim.glb`.
+ifmap load-multiplicity table, donation-chain legality, address-level
+realizability cross-checked against :mod:`repro.sim.glb`, and — for plans
+whose spec carries a banked :class:`~repro.dram.DramSpec` — the DRAM
+backend's timing bound and statistics (``V018``/``V019``).
 
 Violations are structured :class:`Diagnostic` records with stable ``V0xx``
 codes (see :mod:`repro.verify.codes` and ``docs/verification.md``).  Entry
@@ -21,6 +23,7 @@ from .diagnostics import (
     Severity,
     VerificationReport,
 )
+from .dram_checks import check_dram
 from .verifier import (
     NetworkVerification,
     check_plan,
@@ -40,6 +43,7 @@ __all__ = [
     "Severity",
     "VerificationReport",
     "NetworkVerification",
+    "check_dram",
     "check_plan",
     "verify_candidate",
     "verify_network",

@@ -24,7 +24,10 @@ Assignment/plan-level invariants (a scheduled layer inside an
 * ``V012``/``V013`` check the inter-layer donation chain;
 * ``V014``–``V016`` check address-level realizability against
   :mod:`repro.sim.glb`;
-* ``V017`` checks the plan's structural integrity.
+* ``V017`` checks the plan's structural integrity;
+* ``V018``/``V019`` check the banked-DRAM backend's output for every
+  DRAM-backed plan (timing no better than the flat peak-bandwidth bound,
+  and internally consistent row-buffer statistics).
 """
 
 from __future__ import annotations
@@ -48,6 +51,8 @@ CODE_TITLES: dict[str, str] = {
     "V015": "layout region overlap / out of bounds",
     "V016": "donated region not threaded",
     "V017": "plan structure inconsistent",
+    "V018": "DRAM timing below ideal bound",
+    "V019": "DRAM statistics inconsistent",
 }
 
 #: code → full description (the invariant that must hold).
@@ -127,6 +132,19 @@ CODE_DESCRIPTIONS: dict[str, str] = {
     "V017": (
         "The plan must have one assignment per model layer, in order, "
         "each referencing the layer at its own index."
+    ),
+    "V018": (
+        "The trace-simulated DRAM cycles of a layer's schedule must be at "
+        "least the idealized flat-bandwidth bound (total bytes divided by "
+        "the device's peak bytes/cycle): row-buffer conflicts can only "
+        "slow a transfer down, so delivered bandwidth may never exceed "
+        "the device peak."
+    ),
+    "V019": (
+        "The backend's row-buffer statistics must be internally "
+        "consistent: bursts equal hits plus misses, one activation per "
+        "row miss, and the read/write byte totals must equal the "
+        "(donation-transformed) schedule's load/store traffic in bytes."
     ),
 }
 

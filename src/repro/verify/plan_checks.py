@@ -108,7 +108,9 @@ def check_assignment_metrics(
     schedule = transformed_schedule(
         candidate.schedule, assignment.receives, assignment.donates
     )
-    latency = schedule_latency(schedule, spec, candidate.prefetch).total_cycles
+    latency = schedule_latency(
+        schedule, spec, candidate.prefetch, layer=candidate.layer
+    ).total_cycles
     out.check(
         math.isclose(
             assignment.latency_cycles, latency, rel_tol=LATENCY_REL_TOL, abs_tol=1e-9

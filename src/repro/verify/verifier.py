@@ -26,6 +26,7 @@ from ..arch.spec import AcceleratorSpec
 from ..nn.model import Model
 from ..policies.base import CandidatePlan
 from .diagnostics import DiagnosticCollector, VerificationReport
+from .dram_checks import check_dram
 from .invariants import check_candidate
 from .layout_checks import check_layout
 from .plan_checks import (
@@ -65,6 +66,8 @@ def verify_plan(
     Runs the candidate-level invariants on every assignment's underlying
     plan, then the plan-level capacity/metric/chain checks, then (unless
     ``check_layouts=False``) the address-level realizability checks.
+    Plans whose spec carries a banked DRAM model additionally get the
+    ``V018``/``V019`` backend cross-checks.
     """
     out = DiagnosticCollector(
         subject=f"{plan.model.name}/{plan.scheme} @ {plan.spec.glb_bytes} B"
@@ -82,6 +85,8 @@ def verify_plan(
     check_interlayer_chain(out, plan)
     if check_layouts:
         check_layout(out, plan)
+    if plan.spec.dram is not None:
+        check_dram(out, plan)
     return out.report()
 
 

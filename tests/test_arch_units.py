@@ -108,3 +108,38 @@ class TestAcceleratorSpec:
 
     def test_num_pes(self):
         assert AcceleratorSpec(pe_rows=8, pe_cols=4).num_pes == 32
+
+    def test_validation_reports_every_invalid_field(self):
+        with pytest.raises(ValueError) as excinfo:
+            AcceleratorSpec(
+                pe_rows=0,
+                ops_per_cycle=-1,
+                data_width_bits=12,
+                glb_bytes=0,
+                dram_bandwidth_elems_per_cycle=-2.0,
+            )
+        message = str(excinfo.value)
+        assert message.startswith("invalid AcceleratorSpec: ")
+        for field in (
+            "PE array dimensions",
+            "ops_per_cycle",
+            "data_width_bits",
+            "glb_bytes",
+            "dram_bandwidth_elems_per_cycle",
+        ):
+            assert field in message
+        # One aggregated error, not just the first violation.
+        assert message.count(";") == 4
+
+    def test_with_dram(self):
+        from repro.dram import DEFAULT_DDR4_SPEC
+
+        assert DEFAULT_SPEC.dram is None
+        banked = DEFAULT_SPEC.with_dram(DEFAULT_DDR4_SPEC)
+        assert banked.dram is DEFAULT_DDR4_SPEC
+        assert banked.with_dram(None).dram is None
+        # The flat constant equals the banked device's peak at 8-bit data.
+        assert (
+            DEFAULT_DDR4_SPEC.peak_bytes_per_cycle
+            == DEFAULT_SPEC.dram_bandwidth_bytes_per_cycle
+        )

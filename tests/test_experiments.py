@@ -254,6 +254,7 @@ class TestRunner:
             "ablation-dataflow",
             "resolution",
             "bounds",
+            "dram-sweep",
         }
 
     def test_run_subset_and_csv(self, tmp_path):

@@ -104,3 +104,50 @@ class TestPrefetchLatency:
         s = _schedule([StepGroup(count=1, macs=256)], resident_ifmap=1600)
         lat = schedule_latency(s, SPEC, prefetch=True)
         assert lat.total_cycles == pytest.approx(100 + 1)
+
+
+class TestLatencyEdgeCases:
+    def test_compute_only_schedule_moves_no_bytes(self):
+        # Zero-byte transfers: the DMA chains must stay untouched.
+        s = _schedule([StepGroup(count=8, macs=2560)])
+        for prefetch in (False, True):
+            lat = schedule_latency(s, SPEC, prefetch)
+            assert lat.dma_cycles == 0.0
+            assert lat.total_cycles == pytest.approx(8 * 10.0)
+
+    def test_transfer_only_schedule_computes_nothing(self):
+        s = _schedule([StepGroup(count=4, ifmap=160, store=160)])
+        for prefetch in (False, True):
+            lat = schedule_latency(s, SPEC, prefetch)
+            assert lat.compute_cycles == 0.0
+            assert lat.total_cycles == pytest.approx(4 * 20.0)
+
+    def test_compute_memory_bound_crossover(self):
+        # Per step the port moves (304+16)/16 = 20 cycles of data; sweep the
+        # compute time across that point.
+        def total(macs):
+            s = _schedule([StepGroup(count=50, ifmap=304, macs=macs, store=16)])
+            return schedule_latency(s, SPEC, prefetch=True).total_cycles
+
+        # Memory-bound (compute 10 < dma 20): port-work conservation rules.
+        assert total(2560) == pytest.approx(50 * 20)
+        # Compute-bound (compute 30 > dma 20): load fill + compute + store tail.
+        assert total(7680) == pytest.approx(304 / 16 + 50 * 30 + 1)
+        # At the crossover the pipelined chain (fill + compute + tail) is the
+        # binding one, and the model is continuous in between.
+        assert total(5120) == pytest.approx(304 / 16 + 50 * 20 + 1)
+        assert total(2560) <= total(5120) <= total(7680)
+
+    def test_prefetch_overlap_accounting(self):
+        # Per step: load 20, compute 10, store 20 cycles.
+        s = _schedule([StepGroup(count=40, ifmap=160, filters=160, macs=2560, store=320)])
+        serial = schedule_latency(s, SPEC, prefetch=False)
+        pf = schedule_latency(s, SPEC, prefetch=True)
+        # Serial: everything adds; prefetch: the port (40 cyc/step) binds and
+        # compute hides entirely inside it.
+        assert serial.total_cycles == pytest.approx(40 * 50)
+        assert pf.total_cycles == pytest.approx(40 * 40)
+        # Overlap changes the critical path, never the per-resource busy time.
+        assert pf.dma_cycles == pytest.approx(serial.dma_cycles)
+        assert pf.compute_cycles == pytest.approx(serial.compute_cycles)
+        assert pf.total_cycles >= pf.dma_cycles - 1e-9

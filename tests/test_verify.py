@@ -435,9 +435,65 @@ class TestDiagnostics:
         covered = {
             "V001", "V002", "V003", "V004", "V005", "V006", "V007", "V008",
             "V009", "V010", "V011", "V012", "V013", "V014", "V015", "V016",
-            "V017",
+            "V017", "V018", "V019",
         }
         assert covered == set(ALL_CODES)
+
+
+# ----------------------------------------------------------------------
+# DRAM-level checks (V018/V019)
+# ----------------------------------------------------------------------
+
+
+class TestDramChecks:
+    """V018/V019 run only for DRAM-backed plans and catch backend lies.
+
+    The backend cannot be corrupted through the plan object (the verifier
+    re-simulates from the schedule), so these tests stub the simulation
+    the checker calls and hand it inconsistent statistics.
+    """
+
+    @pytest.fixture(scope="class")
+    def dram_plan(self, spec):
+        from repro.dram import DEFAULT_DDR4_SPEC
+
+        manager = MemoryManager(spec.with_dram(DEFAULT_DDR4_SPEC))
+        return manager.plan(tiny_model(), interlayer=True)
+
+    def test_dram_backed_plan_verifies(self, dram_plan):
+        report = verify_plan(dram_plan)
+        assert report.ok
+
+    def test_flat_plan_skips_dram_checks(self, plan, dram_plan):
+        # Same model and GLB; the DRAM-backed plan runs strictly more checks.
+        assert verify_plan(dram_plan).checks > verify_plan(plan).checks
+
+    def test_v018_fires_on_too_fast_timing(self, dram_plan, monkeypatch):
+        import repro.verify.dram_checks as dram_checks
+
+        real = dram_checks.simulate_schedule
+
+        def too_fast(schedule, layer, b, dram, mapping=None):
+            stats = real(schedule, layer, b, dram, mapping)
+            return replace(stats, cycles=stats.ideal_cycles * 0.5)
+
+        monkeypatch.setattr(dram_checks, "simulate_schedule", too_fast)
+        report = verify_plan(dram_plan)
+        assert "V018" in report.codes
+
+    def test_v019_fires_on_inconsistent_stats(self, dram_plan, monkeypatch):
+        import repro.verify.dram_checks as dram_checks
+
+        real = dram_checks.simulate_schedule
+
+        def extra_activation(schedule, layer, b, dram, mapping=None):
+            stats = real(schedule, layer, b, dram, mapping)
+            return replace(stats, activations=stats.activations + 1)
+
+        monkeypatch.setattr(dram_checks, "simulate_schedule", extra_activation)
+        report = verify_plan(dram_plan)
+        assert "V019" in report.codes
+        assert "V018" not in report.codes
 
 
 # ----------------------------------------------------------------------
