@@ -1,31 +1,48 @@
 """Benchmark harness helpers.
 
 Each benchmark regenerates one paper artifact end to end.  The experiment
-layer memoizes plans (`lru_cache`), which is right for interactive use but
-would let later benchmark rounds measure cache hits; ``fresh`` clears all
-caches so every measured round does the full analysis.
+layer memoizes plans at two levels — an in-process ``lru_cache`` and the
+persistent on-disk cache (:mod:`repro.experiments.cache`) — which is right
+for interactive use but would let measured benchmark rounds hit caches.
+The whole benchmark session therefore runs against an isolated temporary
+cache directory, and ``fresh`` clears both levels so every measured round
+does the full analysis.
 
-Every benchmark session additionally emits ``BENCH_dram.json`` next to the
-repository root: the wall-clock time to plan ResNet18 at a 1 MiB GLB on a
-DRAM-backed spec plus the banked-DRAM simulated transfer cycles per
-mapping policy.  CI uploads the file so the repo has a perf trajectory.
+Every benchmark session additionally emits two perf-trajectory artifacts
+next to the repository root (CI uploads both):
+
+* ``BENCH_dram.json`` — wall-clock time to plan ResNet18 at a 1 MiB GLB on
+  a DRAM-backed spec plus the banked-DRAM simulated transfer cycles per
+  mapping policy;
+* ``BENCH_experiments.json`` — the experiment engine's smoke subset run
+  cold and then warm through the persistent cache with ``--jobs 2``
+  semantics, recording per-artifact wall time, cache hits/misses and the
+  warm-over-cold speedup (outputs are asserted bit-identical).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
 import pytest
 
-from repro.experiments import common
+from repro.experiments import cache, common
+
+#: The benchmark session never reads/writes the user's real plan cache.
+_BENCH_CACHE_DIR = tempfile.mkdtemp(prefix="repro-bench-cache-")
+os.environ[cache.ENV_CACHE_DIR] = _BENCH_CACHE_DIR
+
+#: Fast artifact subset exercised by the engine perf record.
+SMOKE_ARTIFACTS = ["table2", "fig1", "fig6", "fig9", "dram-sweep"]
 
 
 def clear_experiment_caches() -> None:
-    common.het_plan.cache_clear()
-    common.hom_plan.cache_clear()
-    common.baseline_results.cache_clear()
+    common.clear_in_process_caches()
+    cache.clear()
 
 
 @pytest.fixture
@@ -70,9 +87,35 @@ def _dram_benchmark_record() -> dict:
     }
 
 
+def _experiments_benchmark_record() -> dict:
+    """Cold-vs-warm engine run over the smoke subset (2 workers)."""
+    from repro.experiments.engine import run_experiments
+
+    clear_experiment_caches()
+    cold = run_experiments(SMOKE_ARTIFACTS, jobs=2)
+    common.clear_in_process_caches()  # keep the on-disk cache warm
+    warm = run_experiments(SMOKE_ARTIFACTS, jobs=2)
+    identical = [t.render() for t in cold.tables] == [t.render() for t in warm.tables]
+    clear_experiment_caches()
+    return {
+        "artifacts": SMOKE_ARTIFACTS,
+        "bit_identical_warm_rerun": identical,
+        "warm_speedup": (
+            cold.total_seconds / warm.total_seconds if warm.total_seconds else None
+        ),
+        "cold": cold.bench_record(),
+        "warm": warm.bench_record(),
+    }
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Write ``BENCH_dram.json`` at the repo root after every benchmark run."""
+    """Write the perf-trajectory JSONs at the repo root after every run."""
     if exitstatus != 0 or session.config.option.collectonly:
         return
-    out = Path(__file__).resolve().parent.parent / "BENCH_dram.json"
-    out.write_text(json.dumps(_dram_benchmark_record(), indent=2) + "\n")
+    root = Path(__file__).resolve().parent.parent
+    (root / "BENCH_dram.json").write_text(
+        json.dumps(_dram_benchmark_record(), indent=2) + "\n"
+    )
+    (root / "BENCH_experiments.json").write_text(
+        json.dumps(_experiments_benchmark_record(), indent=2) + "\n"
+    )

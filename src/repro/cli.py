@@ -451,12 +451,24 @@ def cmd_dram(args: argparse.Namespace) -> int:
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
-    """Forward to the experiments runner."""
+    """Forward to the experiments runner (engine-backed).
+
+    Unknown artifact ids exit with an argparse-style error (code 2)
+    listing the available ids, exactly like ``python -m repro.experiments``.
+    """
     from .experiments.runner import main as experiments_main
 
     forwarded = list(args.artifacts)
     if args.csv:
         forwarded = ["--csv", args.csv, *forwarded]
+    if args.jobs != 1:
+        forwarded = ["--jobs", str(args.jobs), *forwarded]
+    if args.bench:
+        forwarded = ["--bench", args.bench, *forwarded]
+    if args.no_cache:
+        forwarded = ["--no-cache", *forwarded]
+    if args.clear_cache:
+        forwarded = ["--clear-cache", *forwarded]
     return experiments_main(forwarded)
 
 
@@ -560,6 +572,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate paper artifacts")
     p.add_argument("artifacts", nargs="*")
     p.add_argument("--csv", metavar="DIR")
+    p.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    p.add_argument("--bench", metavar="FILE", help="write timing/cache JSON record")
+    p.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent plan cache"
+    )
+    p.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete the persistent plan cache and exit",
+    )
     p.set_defaults(func=cmd_experiments)
 
     return parser

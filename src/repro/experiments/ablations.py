@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..analyzer import Objective, plan_heterogeneous
+from ..analyzer import Objective
 from ..analyzer.algorithm1 import select_policy
 from ..analyzer.plan import ExecutionPlan, make_assignment
 from ..analyzer.planner import candidate_evaluations
@@ -30,7 +30,8 @@ from ..report.table import Table
 from ..scalesim.config import Dataflow
 from ..scalesim.presets import baseline_config
 from ..scalesim.simulator import simulate
-from .common import GLB_SIZES_KB, spec_for
+from . import cache
+from .common import GLB_SIZES_KB, het_plan, spec_for
 
 # ----------------------------------------------------------------------
 # Ablation 1: opportunistic vs joint inter-layer planning
@@ -55,13 +56,11 @@ def interlayer_modes(
     model_name: str = "MnasNet", glb_sizes_kb: tuple[int, ...] = GLB_SIZES_KB
 ) -> list[InterlayerAblationRow]:
     """Compare the two inter-layer planning modes per buffer size."""
-    model = get_model(model_name)
     rows = []
     for glb_kb in glb_sizes_kb:
-        spec = spec_for(glb_kb)
-        base = plan_heterogeneous(model, spec)
-        opp = plan_heterogeneous(model, spec, interlayer=True)
-        joint = plan_heterogeneous(model, spec, interlayer=True, interlayer_mode="joint")
+        base = het_plan(model_name, glb_kb)
+        opp = het_plan(model_name, glb_kb, interlayer=True)
+        joint = het_plan(model_name, glb_kb, interlayer=True, interlayer_mode="joint")
         rows.append(
             InterlayerAblationRow(
                 model=model_name,
@@ -119,18 +118,23 @@ def _het_named_only(
 ) -> ExecutionPlan:
     """Heterogeneous plan where the tile search only rescues layers no
     named policy can fit (Algorithm 1 as literally written)."""
-    candidates = candidate_evaluations(model, spec, always_fallback=False)
-    assignments = [
-        make_assignment(i, select_policy(evs, objective), spec)
-        for i, evs in enumerate(candidates)
-    ]
-    return ExecutionPlan(
-        model=model,
-        spec=spec,
-        objective=objective,
-        scheme="het(named-only)",
-        assignments=tuple(assignments),
-    )
+
+    def compute() -> ExecutionPlan:
+        candidates = candidate_evaluations(model, spec, always_fallback=False)
+        assignments = [
+            make_assignment(i, select_policy(evs, objective), spec)
+            for i, evs in enumerate(candidates)
+        ]
+        return ExecutionPlan(
+            model=model,
+            spec=spec,
+            objective=objective,
+            scheme="het(named-only)",
+            assignments=tuple(assignments),
+        )
+
+    key = cache.plan_cache_key("het(named-only)", model, spec, objective)
+    return cache.fetch(key, compute)
 
 
 def fallback_participation(
@@ -144,7 +148,7 @@ def fallback_participation(
         for glb_kb in glb_sizes_kb:
             spec = spec_for(glb_kb)
             named = _het_named_only(model, spec)
-            full = plan_heterogeneous(model, spec)
+            full = het_plan(name, glb_kb)
             rows.append(
                 FallbackAblationRow(
                     model=name,
@@ -197,7 +201,15 @@ def baseline_dataflows(
         cycles = {}
         for dataflow in Dataflow:
             config = replace(baseline_config(glb_kb * 1024, 0.5), dataflow=dataflow)
-            cycles[dataflow] = simulate(model, config).total_cycles
+            key = cache.make_key(
+                "baseline-dataflow",
+                model=cache.model_digest(model),
+                glb_kb=glb_kb,
+                dataflow=dataflow.value,
+            )
+            cycles[dataflow] = cache.fetch(
+                key, lambda: simulate(model, config).total_cycles
+            )
         rows.append(
             DataflowAblationRow(
                 model=name,

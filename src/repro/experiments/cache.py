@@ -1,0 +1,277 @@
+"""Persistent, content-addressed plan/evaluation cache.
+
+The experiment suite replays the same (model × GLB size × objective)
+analyses for every figure and table.  The in-process ``lru_cache`` in
+:mod:`repro.experiments.common` deduplicates them within one run, but is
+lost between processes — every CI run and every benchmark session used to
+pay the full re-planning cost.  This module adds the missing layer: a
+content-addressed on-disk cache shared by all processes (including the
+engine's worker pool).
+
+Keys
+----
+A cache key is the SHA-256 of a canonical JSON payload containing
+
+* the cache schema version (:data:`CACHE_SCHEMA_VERSION` — bump it when a
+  change anywhere in the planning pipeline may alter results),
+* the entry kind (``"het"``, ``"hom"``, ``"baseline"``, …),
+* the model digest — name **and** every layer's full hyperparameter tuple,
+  so two models that merely share a name never collide,
+* every :class:`~repro.arch.AcceleratorSpec` field (``data_width_bits``
+  included) and, when present, every :class:`~repro.dram.DramSpec` field,
+* the planning flags (objective, prefetch, inter-layer mode, …).
+
+Values are stored with :mod:`pickle`, which round-trips the frozen plan
+dataclasses bit-identically (floats included), so cached results render
+exactly like freshly computed ones.
+
+Environment
+-----------
+``REPRO_CACHE_DIR``
+    Overrides the cache directory (default
+    ``$XDG_CACHE_HOME/repro/plans-v<schema>`` or
+    ``~/.cache/repro/plans-v<schema>``).
+``REPRO_NO_CACHE``
+    Any non-empty value disables the on-disk cache entirely (every lookup
+    is a miss and nothing is written).  Both variables are inherited by
+    the engine's worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any, Callable, TypeVar
+
+from ..arch.spec import AcceleratorSpec
+from ..nn.model import Model
+
+T = TypeVar("T")
+
+#: Bump when planner/estimator changes may alter cached results.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the cache directory.
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Environment variable disabling the persistent cache when non-empty.
+ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+_SENTINEL = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for the current process."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.stores = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain (picklable) dict."""
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def add(self, other: "CacheStats | dict[str, int]") -> None:
+        """Accumulate another counter set (e.g. a worker's snapshot)."""
+        if isinstance(other, CacheStats):
+            other = other.snapshot()
+        self.hits += other.get("hits", 0)
+        self.misses += other.get("misses", 0)
+        self.stores += other.get("stores", 0)
+
+
+#: Process-wide counters; worker processes each get their own copy and the
+#: engine aggregates the snapshots they return.
+stats = CacheStats()
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent cache is active (``REPRO_NO_CACHE`` unset)."""
+    return not os.environ.get(ENV_NO_CACHE)
+
+
+def cache_dir() -> Path:
+    """The active cache directory (not necessarily existing yet)."""
+    override = os.environ.get(ENV_CACHE_DIR)
+    if override:
+        return Path(override)
+    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    return Path(base) / "repro" / f"plans-v{CACHE_SCHEMA_VERSION}"
+
+
+# ----------------------------------------------------------------------
+# Key construction
+# ----------------------------------------------------------------------
+
+
+def model_digest(model: Model) -> str:
+    """Digest of a model's identity: name + every layer's hyperparameters."""
+    payload = [model.name]
+    for layer in model.layers:
+        payload.append(
+            [
+                layer.name,
+                layer.kind.value,
+                layer.in_h,
+                layer.in_w,
+                layer.in_c,
+                layer.f_h,
+                layer.f_w,
+                layer.num_filters,
+                layer.stride,
+                layer.padding,
+            ]
+        )
+    payload.append(sorted(model.sequential_pairs))
+    payload.append(model.explicit_pairs)
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def spec_payload(spec: AcceleratorSpec) -> dict[str, Any]:
+    """Every AcceleratorSpec field (DramSpec expanded field by field).
+
+    ``data_width_bits`` is always part of the payload — two specs differing
+    only in data width must never share a cache entry.
+    """
+    payload: dict[str, Any] = {}
+    for f in fields(spec):
+        value = getattr(spec, f.name)
+        if f.name == "dram":
+            value = (
+                None
+                if value is None
+                else {df.name: getattr(value, df.name) for df in fields(value)}
+            )
+        payload[f.name] = value
+    return payload
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def make_key(kind: str, **parts: Any) -> str:
+    """Content-addressed key for one cache entry."""
+    body = {"schema": CACHE_SCHEMA_VERSION, "kind": kind, **parts}
+    return hashlib.sha256(_canonical(body).encode()).hexdigest()
+
+
+def plan_cache_key(
+    scheme: str,
+    model: Model,
+    spec: AcceleratorSpec,
+    objective: Any,
+    *,
+    allow_prefetch: bool = True,
+    interlayer: bool = False,
+    interlayer_mode: str = "opportunistic",
+) -> str:
+    """Shared key layout for execution plans.
+
+    Used both by :mod:`repro.experiments.common` and by
+    :meth:`repro.manager.MemoryManager.plan_cached`, so the two entry
+    points hit the same entries for identical requests.
+    """
+    objective_value = getattr(objective, "value", objective)
+    return make_key(
+        scheme,
+        model=model_digest(model),
+        spec=spec_payload(spec),
+        objective=objective_value,
+        allow_prefetch=allow_prefetch,
+        interlayer=interlayer,
+        interlayer_mode=interlayer_mode if interlayer else "-",
+    )
+
+
+# ----------------------------------------------------------------------
+# Storage
+# ----------------------------------------------------------------------
+
+
+def _entry_path(key: str) -> Path:
+    return cache_dir() / key[:2] / f"{key}.pkl"
+
+
+def load(key: str) -> Any:
+    """Return the cached value for ``key`` or ``_SENTINEL`` on a miss.
+
+    Corrupt or unreadable entries are deleted and counted as misses, so a
+    crashed writer can never poison later runs.
+    """
+    if not cache_enabled():
+        return _SENTINEL
+    path = _entry_path(key)
+    try:
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    except FileNotFoundError:
+        return _SENTINEL
+    except Exception:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return _SENTINEL
+
+
+def store(key: str, value: Any) -> None:
+    """Atomically persist ``value`` under ``key`` (no-op when disabled)."""
+    if not cache_enabled():
+        return
+    path = _entry_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        stats.stores += 1
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+
+
+def fetch(key: str, compute: Callable[[], T]) -> T:
+    """Return the cached value for ``key``, computing and storing on miss."""
+    cached = load(key)
+    if cached is not _SENTINEL:
+        stats.hits += 1
+        return cached  # type: ignore[no-any-return]
+    stats.misses += 1
+    value = compute()
+    store(key, value)
+    return value
+
+
+def clear() -> int:
+    """Delete every cache entry; returns the number of entries removed."""
+    root = cache_dir()
+    removed = 0
+    if not root.is_dir():
+        return removed
+    for path in root.rglob("*.pkl"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def entry_count() -> int:
+    """Number of entries currently on disk."""
+    root = cache_dir()
+    return sum(1 for _ in root.rglob("*.pkl")) if root.is_dir() else 0

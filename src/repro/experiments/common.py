@@ -5,13 +5,24 @@ All experiments use the paper's reference accelerator (§4): 16×16 PEs,
 {64, 128, 256, 512, 1024} kB, batch 1, layer-by-layer execution.
 
 Plans are memoized per (model, GLB, data width, objective, prefetch,
-inter-layer) so that the full experiment suite and the benchmarks do not
+inter-layer) at two levels: an in-process ``lru_cache`` and the
+persistent, content-addressed on-disk cache in
+:mod:`repro.experiments.cache`, shared across processes — so the full
+experiment suite, the engine's worker pool and the benchmarks never
 recompute identical analyses.
+
+Every cached value is immutable from the caller's perspective:
+:class:`~repro.analyzer.ExecutionPlan` is a frozen dataclass, and
+:func:`baseline_results` returns a read-only mapping.  Mutating a cached
+result would silently corrupt every later artifact in the same process,
+so the types enforce it.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from types import MappingProxyType
+from typing import Mapping
 
 from ..analyzer import ExecutionPlan, Objective, best_homogeneous, plan_heterogeneous
 from ..arch.spec import PAPER_GLB_SIZES, AcceleratorSpec
@@ -19,6 +30,7 @@ from ..arch.units import kib
 from ..nn.model import Model
 from ..nn.zoo import PAPER_MODEL_NAMES, get_model
 from ..scalesim import SimulationResult, baseline_configs, simulate
+from . import cache
 
 #: GLB sizes in kB, as labeled on the paper's x-axes.
 GLB_SIZES_KB = tuple(size // kib(1) for size in PAPER_GLB_SIZES)
@@ -27,6 +39,61 @@ GLB_SIZES_KB = tuple(size // kib(1) for size in PAPER_GLB_SIZES)
 def spec_for(glb_kb: int, data_width_bits: int = 8) -> AcceleratorSpec:
     """The paper's accelerator spec at one GLB size / data width."""
     return AcceleratorSpec(glb_bytes=kib(glb_kb), data_width_bits=data_width_bits)
+
+
+def cached_het_plan(
+    model: Model,
+    spec: AcceleratorSpec,
+    objective: Objective = Objective.ACCESSES,
+    *,
+    allow_prefetch: bool = True,
+    interlayer: bool = False,
+    interlayer_mode: str = "opportunistic",
+) -> ExecutionPlan:
+    """Heterogeneous plan for an arbitrary model/spec, persistently cached.
+
+    The key covers the model's full layer-dimension digest and every spec
+    field, so resolution sweeps and custom specs cache correctly.
+    """
+    key = cache.plan_cache_key(
+        "het",
+        model,
+        spec,
+        objective,
+        allow_prefetch=allow_prefetch,
+        interlayer=interlayer,
+        interlayer_mode=interlayer_mode,
+    )
+    return cache.fetch(
+        key,
+        lambda: plan_heterogeneous(
+            model,
+            spec,
+            objective,
+            allow_prefetch=allow_prefetch,
+            interlayer=interlayer,
+            interlayer_mode=interlayer_mode,
+        ),
+    )
+
+
+def cached_hom_plan(
+    model: Model,
+    spec: AcceleratorSpec,
+    objective: Objective = Objective.ACCESSES,
+    *,
+    allow_prefetch: bool = True,
+) -> ExecutionPlan:
+    """Best homogeneous plan for an arbitrary model/spec, persistently cached."""
+    key = cache.plan_cache_key(
+        "hom", model, spec, objective, allow_prefetch=allow_prefetch
+    )
+    return cache.fetch(
+        key,
+        lambda: best_homogeneous(
+            model, spec, objective, allow_prefetch=allow_prefetch
+        ),
+    )
 
 
 @lru_cache(maxsize=None)
@@ -39,8 +106,8 @@ def het_plan(
     interlayer: bool = False,
     interlayer_mode: str = "opportunistic",
 ) -> ExecutionPlan:
-    """Cached heterogeneous plan."""
-    return plan_heterogeneous(
+    """Cached heterogeneous plan (in-process + persistent on-disk)."""
+    return cached_het_plan(
         get_model(model_name),
         spec_for(glb_kb, data_width_bits),
         objective,
@@ -58,8 +125,8 @@ def hom_plan(
     data_width_bits: int = 8,
     allow_prefetch: bool = True,
 ) -> ExecutionPlan:
-    """Cached best homogeneous plan."""
-    return best_homogeneous(
+    """Cached best homogeneous plan (in-process + persistent on-disk)."""
+    return cached_hom_plan(
         get_model(model_name),
         spec_for(glb_kb, data_width_bits),
         objective,
@@ -70,11 +137,33 @@ def hom_plan(
 @lru_cache(maxsize=None)
 def baseline_results(
     model_name: str, glb_kb: int, data_width_bits: int = 8
-) -> dict[str, SimulationResult]:
-    """Cached SCALE-Sim baseline runs for the three partitions."""
+) -> Mapping[str, SimulationResult]:
+    """Cached SCALE-Sim baseline runs for the three partitions.
+
+    Returns a **read-only** mapping: the underlying dict is shared with
+    every later caller in the process (and with the on-disk cache), so
+    mutation would corrupt subsequent artifacts.
+    """
     model: Model = get_model(model_name)
-    configs = baseline_configs(kib(glb_kb), data_width_bits=data_width_bits)
-    return {label: simulate(model, config) for label, config in configs.items()}
+    spec = spec_for(glb_kb, data_width_bits)
+    key = cache.make_key(
+        "baseline",
+        model=cache.model_digest(model),
+        spec=cache.spec_payload(spec),
+    )
+
+    def compute() -> dict[str, SimulationResult]:
+        configs = baseline_configs(kib(glb_kb), data_width_bits=data_width_bits)
+        return {label: simulate(model, config) for label, config in configs.items()}
+
+    return MappingProxyType(cache.fetch(key, compute))
+
+
+def clear_in_process_caches() -> None:
+    """Drop the in-process memoization (the on-disk cache is untouched)."""
+    het_plan.cache_clear()
+    hom_plan.cache_clear()
+    baseline_results.cache_clear()
 
 
 def all_model_names() -> tuple[str, ...]:

@@ -1,0 +1,369 @@
+"""Parallel + persistently cached experiment execution engine.
+
+The paper-artifact suite is embarrassingly parallel at two levels:
+
+* **across artifacts** — each entry of the ``ARTIFACTS`` registry is an
+  independent table generator;
+* **within the heavy artifacts** — Figs. 5/7/8 etc. iterate a
+  (model × GLB-size) grid whose cells are independent planning problems.
+
+The engine exploits both.  With ``jobs > 1`` it first *prewarms* the
+persistent on-disk cache (:mod:`repro.experiments.cache`): the union of
+the selected artifacts' plan grids is fanned across a process pool, each
+worker writing its plans/baselines into the shared content-addressed
+store.  The artifacts themselves then run (also across the pool) against
+a warm cache, so even a single heavy artifact like ``fig8`` parallelizes.
+
+Results are **bit-identical** to the serial path: workers return the
+same frozen dataclasses (pickle round-trips floats exactly), tables are
+assembled in the requested artifact order, and the parity suite asserts
+serial == parallel == warm-cache output.
+
+Every run is instrumented: per-artifact wall time and cache hit/miss
+counts surface in the runner summary and can be exported as
+``BENCH_experiments.json`` (see :meth:`EngineReport.write_bench`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..analyzer import Objective
+from ..arch.spec import PAPER_DATA_WIDTHS
+from ..report.table import Table
+from . import cache
+
+#: One planning task of the (model × GLB × flags) grid:
+#: (kind, model, glb_kb, objective, data_width_bits, prefetch, interlayer, mode).
+PlanTask = tuple[str, str, int, str, int, bool, bool, str]
+
+
+def _het(
+    model: str,
+    glb_kb: int,
+    objective: str = "accesses",
+    width: int = 8,
+    prefetch: bool = True,
+    interlayer: bool = False,
+    mode: str = "opportunistic",
+) -> PlanTask:
+    return ("het", model, glb_kb, objective, width, prefetch, interlayer, mode)
+
+
+def _hom(model: str, glb_kb: int, objective: str = "accesses", width: int = 8) -> PlanTask:
+    return ("hom", model, glb_kb, objective, width, True, False, "-")
+
+
+def _baseline(model: str, glb_kb: int, width: int = 8) -> PlanTask:
+    return ("baseline", model, glb_kb, "-", width, True, False, "-")
+
+
+def _grid_models() -> tuple[str, ...]:
+    from .common import all_model_names
+
+    return all_model_names()
+
+
+def _grid_sizes() -> tuple[int, ...]:
+    from .common import GLB_SIZES_KB
+
+    return GLB_SIZES_KB
+
+
+def plan_tasks(names: Sequence[str]) -> list[PlanTask]:
+    """The union of the selected artifacts' planning grids, deduplicated.
+
+    Only the heavy artifacts are enumerated; cheap ones (``table2``,
+    ``fig1``, ``fig3``, …) plan so little that prewarming them would cost
+    more in process traffic than it saves.
+    """
+    models, sizes = _grid_models(), _grid_sizes()
+    grids: dict[str, Callable[[], list[PlanTask]]] = {
+        "fig5": lambda: [
+            task
+            for m in models
+            for s in sizes
+            for task in (_baseline(m, s), _hom(m, s), _het(m, s))
+        ],
+        "fig7": lambda: [
+            task
+            for w in PAPER_DATA_WIDTHS
+            for s in sizes
+            for task in (_hom("MobileNetV2", s, width=w), _het("MobileNetV2", s, width=w))
+        ],
+        "fig8": lambda: [_baseline(m, sizes[0]) for m in models]
+        + [
+            task
+            for m in models
+            for s in sizes
+            for o in ("accesses", "latency")
+            for task in (_hom(m, s, o), _het(m, s, o))
+        ],
+        "fig9": lambda: [
+            _het(m, 64, o) for m in models for o in ("accesses", "latency")
+        ],
+        "fig10": lambda: [
+            _het("MobileNet", s, "latency", prefetch=p) for s in sizes for p in (True, False)
+        ],
+        "fig11": lambda: [
+            task for s in sizes for task in (_het("MnasNet", s), _het("MnasNet", s, interlayer=True))
+        ],
+        "fig6": lambda: [_het("ResNet18", 64)],
+        "table4": lambda: [_het(m, 64) for m in models],
+        "energy": lambda: [
+            task for m in models for s in sizes for task in (_baseline(m, s), _het(m, s))
+        ],
+        "dram-sweep": lambda: [_het(m, 256) for m in models],
+        "bounds": lambda: [
+            task
+            for m in models
+            for s in (64, 256, 1024)
+            for task in (_het(m, s), _het(m, s, interlayer=True))
+        ],
+        "ablation-interlayer": lambda: [
+            task
+            for s in sizes
+            for task in (
+                _het("MnasNet", s),
+                _het("MnasNet", s, interlayer=True),
+                _het("MnasNet", s, interlayer=True, mode="joint"),
+            )
+        ],
+        "ablation-fallback": lambda: [
+            _het(m, s) for m in ("ResNet18", "EfficientNetB0") for s in (64, 128, 256)
+        ],
+    }
+    seen: dict[PlanTask, None] = {}
+    for name in names:
+        enumerate_grid = grids.get(name)
+        if enumerate_grid is None:
+            continue
+        for task in enumerate_grid():
+            seen.setdefault(task, None)
+    return list(seen)
+
+
+# ----------------------------------------------------------------------
+# Worker functions (top-level so the process pool can pickle them)
+# ----------------------------------------------------------------------
+
+
+def _warm_worker(task: PlanTask) -> dict[str, int]:
+    """Compute one grid cell into the shared on-disk cache."""
+    from . import common
+
+    before = cache.stats.snapshot()
+    kind, model, glb_kb, objective, width, prefetch, interlayer, mode = task
+    if kind == "baseline":
+        common.baseline_results(model, glb_kb, width)
+    elif kind == "hom":
+        common.hom_plan(model, glb_kb, Objective(objective), width, prefetch)
+    else:
+        common.het_plan(
+            model, glb_kb, Objective(objective), width, prefetch, interlayer, mode
+        )
+    after = cache.stats.snapshot()
+    return {k: after[k] - before[k] for k in after}
+
+
+def _artifact_worker(name: str) -> tuple[Table, float, dict[str, int]]:
+    """Run one artifact, returning its table, wall time and cache deltas."""
+    from .runner import ARTIFACTS
+
+    before = cache.stats.snapshot()
+    start = time.perf_counter()
+    table = ARTIFACTS[name]()
+    seconds = time.perf_counter() - start
+    after = cache.stats.snapshot()
+    return table, seconds, {k: after[k] - before[k] for k in after}
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ArtifactResult:
+    """Timing + cache instrumentation for one generated artifact."""
+
+    name: str
+    table: Table
+    seconds: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+
+
+@dataclass
+class EngineReport:
+    """Everything one engine run produced and measured."""
+
+    results: list[ArtifactResult]
+    jobs: int
+    total_seconds: float
+    prewarm_tasks: int = 0
+    prewarm_seconds: float = 0.0
+    prewarm_stats: dict[str, int] = field(
+        default_factory=lambda: {"hits": 0, "misses": 0, "stores": 0}
+    )
+
+    @property
+    def tables(self) -> list[Table]:
+        return [r.table for r in self.results]
+
+    @property
+    def cache_hits(self) -> int:
+        return self.prewarm_stats["hits"] + sum(r.cache_hits for r in self.results)
+
+    @property
+    def cache_misses(self) -> int:
+        return self.prewarm_stats["misses"] + sum(r.cache_misses for r in self.results)
+
+    def summary_table(self) -> Table:
+        """Per-artifact wall time and cache traffic (the runner summary)."""
+        table = Table(
+            title=f"Experiment engine summary (jobs={self.jobs})",
+            headers=["Artifact", "Seconds", "Cache hits", "Cache misses"],
+        )
+        for r in self.results:
+            table.add_row(r.name, round(r.seconds, 2), r.cache_hits, r.cache_misses)
+        if self.prewarm_tasks:
+            table.add_row(
+                "(prewarm grid)",
+                round(self.prewarm_seconds, 2),
+                self.prewarm_stats["hits"],
+                self.prewarm_stats["misses"],
+            )
+        table.add_row("TOTAL (wall)", round(self.total_seconds, 2),
+                      self.cache_hits, self.cache_misses)
+        return table
+
+    def bench_record(self) -> dict[str, Any]:
+        """JSON-serializable perf record (``BENCH_experiments.json``)."""
+        return {
+            "schema": 1,
+            "jobs": self.jobs,
+            "total_seconds": self.total_seconds,
+            "cache": {
+                "enabled": cache.cache_enabled(),
+                "dir": str(cache.cache_dir()),
+                "schema_version": cache.CACHE_SCHEMA_VERSION,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "prewarm": {
+                "tasks": self.prewarm_tasks,
+                "seconds": self.prewarm_seconds,
+                **self.prewarm_stats,
+            },
+            "artifacts": [
+                {
+                    "name": r.name,
+                    "seconds": r.seconds,
+                    "cache_hits": r.cache_hits,
+                    "cache_misses": r.cache_misses,
+                    "cache_stores": r.cache_stores,
+                }
+                for r in self.results
+            ],
+        }
+
+    def write_bench(self, path: str | Path) -> None:
+        """Write the perf record as JSON."""
+        Path(path).write_text(json.dumps(self.bench_record(), indent=2) + "\n")
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _run_serial(names: Sequence[str]) -> list[ArtifactResult]:
+    results = []
+    for name in names:
+        table, seconds, delta = _artifact_worker(name)
+        results.append(
+            ArtifactResult(
+                name=name,
+                table=table,
+                seconds=seconds,
+                cache_hits=delta["hits"],
+                cache_misses=delta["misses"],
+                cache_stores=delta["stores"],
+            )
+        )
+    return results
+
+
+def _run_parallel(
+    names: Sequence[str], jobs: int, prewarm: bool
+) -> tuple[list[ArtifactResult], int, float, dict[str, int]]:
+    warm_stats = {"hits": 0, "misses": 0, "stores": 0}
+    tasks = plan_tasks(names) if prewarm and cache.cache_enabled() else []
+    warm_seconds = 0.0
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        if tasks:
+            start = time.perf_counter()
+            for delta in pool.map(_warm_worker, tasks):
+                for k in warm_stats:
+                    warm_stats[k] += delta[k]
+            warm_seconds = time.perf_counter() - start
+        futures = [(name, pool.submit(_artifact_worker, name)) for name in names]
+        results = []
+        for name, future in futures:
+            table, seconds, delta = future.result()
+            results.append(
+                ArtifactResult(
+                    name=name,
+                    table=table,
+                    seconds=seconds,
+                    cache_hits=delta["hits"],
+                    cache_misses=delta["misses"],
+                    cache_stores=delta["stores"],
+                )
+            )
+    return results, len(tasks), warm_seconds, warm_stats
+
+
+def run_experiments(
+    names: Sequence[str], jobs: int = 1, prewarm: bool = True
+) -> EngineReport:
+    """Generate the named artifacts, serially or across a process pool.
+
+    ``jobs <= 1`` runs in-process (the exact historical serial path);
+    ``jobs > 1`` fans the plan grid and the artifact list across
+    ``jobs`` workers sharing the persistent cache.  Output tables are
+    identical either way and are returned in the requested order.
+    """
+    from .runner import ARTIFACTS
+
+    unknown = [n for n in names if n not in ARTIFACTS]
+    if unknown:
+        from .runner import UnknownArtifactError
+
+        raise UnknownArtifactError(unknown, list(ARTIFACTS))
+    start = time.perf_counter()
+    if jobs <= 1:
+        results = _run_serial(names)
+        report = EngineReport(
+            results=results, jobs=1, total_seconds=time.perf_counter() - start
+        )
+    else:
+        results, n_tasks, warm_seconds, warm_stats = _run_parallel(
+            names, jobs, prewarm
+        )
+        report = EngineReport(
+            results=results,
+            jobs=jobs,
+            total_seconds=time.perf_counter() - start,
+            prewarm_tasks=n_tasks,
+            prewarm_seconds=warm_seconds,
+            prewarm_stats=warm_stats,
+        )
+    return report

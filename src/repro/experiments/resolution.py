@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..analyzer import Objective, plan_heterogeneous
+from ..analyzer import Objective
 from ..nn.zoo import get_model
 from ..report.table import Table
-from .common import spec_for
+from .common import cached_het_plan, spec_for
 
 #: Typical edge deployment resolutions.
 DEFAULT_RESOLUTIONS = (128, 160, 192, 224, 256)
@@ -42,7 +42,7 @@ def run(
     rows = []
     for size in resolutions:
         model = get_model(model_name, input_size=size)
-        plan = plan_heterogeneous(model, spec_for(glb_kb), objective)
+        plan = cached_het_plan(model, spec_for(glb_kb), objective)
         rows.append(
             ResolutionRow(
                 model=model_name,

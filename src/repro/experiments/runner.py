@@ -2,18 +2,32 @@
 
 Usage::
 
-    python -m repro.experiments            # print all tables
-    python -m repro.experiments --csv DIR  # also write one CSV per artifact
+    python -m repro.experiments                 # print all tables
+    python -m repro.experiments --csv DIR       # also write one CSV per artifact
+    python -m repro.experiments --jobs 4        # fan across a process pool
+    python -m repro.experiments --bench B.json  # export timing/cache record
+    python -m repro.experiments --clear-cache   # drop the persistent cache
+
+Execution is delegated to :mod:`repro.experiments.engine`: artifacts (and,
+within the heavy ones, their model × GLB planning grids) fan across
+``--jobs`` workers, backed by the persistent plan cache in
+:mod:`repro.experiments.cache`.  Output is bit-identical at any job count
+and cache temperature; a summary reports per-artifact wall time and cache
+hits/misses.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from pathlib import Path
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:
+    from .engine import EngineReport
 
 from ..report.table import Table
-from . import ablations, bounds, dram_sweep, energy, fig1, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, resolution
+from . import ablations, bounds, cache, dram_sweep, energy, fig1, fig3, fig5, fig6, fig7, fig8, fig9, fig10, fig11, resolution
 from . import table2, table3, table4
 
 #: artifact id -> callable producing its Table.
@@ -47,21 +61,55 @@ ARTIFACTS: dict[str, Callable[[], Table]] = {
 }
 
 
-def run_all(csv_dir: str | None = None, only: list[str] | None = None) -> list[Table]:
-    """Generate (and optionally export) the selected artifacts."""
+class UnknownArtifactError(KeyError):
+    """Raised when a requested artifact id is not in the registry.
+
+    Subclasses :class:`KeyError` for backward compatibility; the CLIs
+    convert it to an argparse-style error (exit code 2) instead of a raw
+    traceback.
+    """
+
+    def __init__(self, unknown: Sequence[str], available: Sequence[str]) -> None:
+        self.unknown = list(unknown)
+        self.available = list(available)
+        super().__init__(
+            f"unknown artifact(s) {', '.join(self.unknown)}; "
+            f"available: {', '.join(self.available)}"
+        )
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; keep it readable.
+        return self.args[0] if self.args else ""
+
+
+def run_all(
+    csv_dir: str | None = None,
+    only: list[str] | None = None,
+    jobs: int = 1,
+) -> list[Table]:
+    """Generate (and optionally export) the selected artifacts.
+
+    Raises :class:`UnknownArtifactError` for ids not in :data:`ARTIFACTS`.
+    """
+    return run_report(csv_dir=csv_dir, only=only, jobs=jobs).tables
+
+
+def run_report(
+    csv_dir: str | None = None,
+    only: list[str] | None = None,
+    jobs: int = 1,
+) -> "EngineReport":
+    """Like :func:`run_all` but returns the instrumented engine report."""
+    from .engine import run_experiments
+
     names = only or list(ARTIFACTS)
-    unknown = [n for n in names if n not in ARTIFACTS]
-    if unknown:
-        raise KeyError(f"unknown artifacts {unknown}; available: {list(ARTIFACTS)}")
-    tables = []
-    for name in names:
-        table = ARTIFACTS[name]()
-        tables.append(table)
-        if csv_dir is not None:
-            out = Path(csv_dir)
-            out.mkdir(parents=True, exist_ok=True)
-            table.save_csv(out / f"{name}.csv")
-    return tables
+    report = run_experiments(names, jobs=jobs)
+    if csv_dir is not None:
+        out = Path(csv_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        for result in report.results:
+            result.table.save_csv(out / f"{result.name}.csv")
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,12 +117,60 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--csv", metavar="DIR", help="export CSVs to this directory")
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; output is identical)",
+    )
+    parser.add_argument(
+        "--bench",
+        metavar="FILE",
+        help="write the timing/cache record as JSON (BENCH_experiments.json)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the persistent on-disk plan cache for this run",
+    )
+    parser.add_argument(
+        "--clear-cache",
+        action="store_true",
+        help="delete the persistent plan cache and exit",
+    )
+    parser.add_argument(
         "artifacts",
         nargs="*",
         help=f"subset to run (default: all of {', '.join(ARTIFACTS)})",
     )
     args = parser.parse_args(argv)
-    for table in run_all(csv_dir=args.csv, only=args.artifacts or None):
+
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cleared {removed} cache entries from {cache.cache_dir()}")
+        return 0
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.no_cache:
+        # Exported so the engine's worker processes inherit it too.
+        os.environ[cache.ENV_NO_CACHE] = "1"
+
+    unknown = [n for n in args.artifacts if n not in ARTIFACTS]
+    if unknown:
+        parser.error(
+            f"unknown artifact(s): {', '.join(unknown)}\n"
+            f"available artifacts: {', '.join(ARTIFACTS)}"
+        )
+
+    report = run_report(
+        csv_dir=args.csv, only=args.artifacts or None, jobs=args.jobs
+    )
+    for table in report.tables:
         print(table.render())
         print()
+    print(report.summary_table().render())
+    if args.bench:
+        report.write_bench(args.bench)
+        print(f"\nperf record written to {args.bench}")
     return 0

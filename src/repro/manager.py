@@ -124,6 +124,48 @@ class MemoryManager:
             return plan
         raise ValueError(f"unknown scheme {scheme!r}")
 
+    def plan_cached(
+        self,
+        model: Model,
+        objective: Objective = Objective.ACCESSES,
+        *,
+        scheme: str = "het",
+        prefetch: bool = True,
+        interlayer: bool = False,
+        interlayer_mode: str = "opportunistic",
+    ) -> ExecutionPlan:
+        """Like :meth:`plan`, backed by the persistent on-disk plan cache.
+
+        The key covers the model's full layer-dimension digest, every
+        spec field (``data_width_bits`` and DRAM configuration included)
+        and all planning flags, so any change to the inputs is a cache
+        miss.  Keys are shared with :mod:`repro.experiments.common` —
+        serving a plan here warms the experiment suite and vice versa.
+        Set ``REPRO_NO_CACHE=1`` to force recomputation.
+        """
+        from .experiments import cache
+
+        key = cache.plan_cache_key(
+            scheme,
+            model,
+            self.spec,
+            objective,
+            allow_prefetch=prefetch,
+            interlayer=interlayer,
+            interlayer_mode=interlayer_mode,
+        )
+        return cache.fetch(
+            key,
+            lambda: self.plan(
+                model,
+                objective,
+                scheme=scheme,
+                prefetch=prefetch,
+                interlayer=interlayer,
+                interlayer_mode=interlayer_mode,
+            ),
+        )
+
     def verify(self, plan: ExecutionPlan) -> VerificationReport:
         """Statically verify a plan against the invariant catalog.
 

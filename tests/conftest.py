@@ -2,10 +2,32 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.arch import AcceleratorSpec, kib
 from repro.nn import LayerKind, LayerSpec
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _session_cache_dir(tmp_path_factory: pytest.TempPathFactory):
+    """Keep the whole test session away from the user's real plan cache.
+
+    Individual tests that need a pristine cache point ``REPRO_CACHE_DIR``
+    at their own tmp dir on top of this.
+    """
+    from repro.experiments import cache
+
+    previous = os.environ.get(cache.ENV_CACHE_DIR)
+    os.environ[cache.ENV_CACHE_DIR] = str(
+        tmp_path_factory.mktemp("session-plan-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop(cache.ENV_CACHE_DIR, None)
+    else:
+        os.environ[cache.ENV_CACHE_DIR] = previous
 
 
 @pytest.fixture

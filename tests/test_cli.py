@@ -80,6 +80,22 @@ class TestBaselineCompareSweep:
         assert (tmp_path / "table2.csv").exists()
         assert "Table 2" in capsys.readouterr().out
 
+    def test_experiments_jobs_and_bench(self, capsys, tmp_path):
+        bench = tmp_path / "bench.json"
+        assert main(
+            ["experiments", "table2", "--jobs", "2", "--bench", str(bench)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Experiment engine summary (jobs=2)" in out
+        assert json.loads(bench.read_text())["jobs"] == 2
+
+    def test_experiments_unknown_artifact_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["experiments", "fig99"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "table2" in err
+
 
 class TestEvaluate:
     def test_evaluate_layer(self, capsys):

@@ -1,0 +1,287 @@
+"""Experiment engine: persistent cache, parallel parity, CLI errors.
+
+Every test isolates the persistent cache in a tmp directory via
+``REPRO_CACHE_DIR`` (worker processes inherit it) and drops the
+in-process memoization so the on-disk path is actually exercised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.analyzer import Objective
+from repro.arch.spec import AcceleratorSpec
+from repro.experiments import cache, common
+from repro.experiments.engine import plan_tasks, run_experiments
+from repro.experiments.runner import ARTIFACTS, UnknownArtifactError, main, run_all, run_report
+from repro.manager import MemoryManager
+from repro.nn.zoo import get_model
+
+#: Fast artifact subset used for the parity checks.
+FAST_SUBSET = ["table2", "fig1", "dram-sweep"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the persistent cache at a fresh tmp dir and reset memoization."""
+    monkeypatch.setenv(cache.ENV_CACHE_DIR, str(tmp_path / "plan-cache"))
+    # Popped directly (not via monkeypatch) because `main(["--no-cache", ...])`
+    # exports the variable itself; monkeypatch must not restore that leak.
+    os.environ.pop(cache.ENV_NO_CACHE, None)
+    common.clear_in_process_caches()
+    cache.stats.reset()
+    yield
+    os.environ.pop(cache.ENV_NO_CACHE, None)
+    common.clear_in_process_caches()
+    cache.stats.reset()
+
+
+class TestCacheKeys:
+    def test_data_width_always_changes_the_key(self):
+        """Two specs differing *only* in data width never share an entry."""
+        model = get_model("MobileNet")
+        spec8 = AcceleratorSpec(data_width_bits=8)
+        spec16 = AcceleratorSpec(data_width_bits=16)
+        for scheme in ("het", "hom"):
+            key8 = cache.plan_cache_key(scheme, model, spec8, Objective.ACCESSES)
+            key16 = cache.plan_cache_key(scheme, model, spec16, Objective.ACCESSES)
+            assert key8 != key16
+
+    def test_data_width_entries_disjoint_on_disk(self):
+        """Planning at 8- and 16-bit widths stores two distinct entries."""
+        common.het_plan("MobileNet", 64, Objective.ACCESSES, 8)
+        assert cache.entry_count() == 1
+        common.het_plan("MobileNet", 64, Objective.ACCESSES, 16)
+        assert cache.entry_count() == 2
+        # And the 16-bit lookup was a miss, not a stale 8-bit hit.
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+
+    def test_interlayer_mode_in_key(self):
+        model = get_model("MnasNet")
+        spec = AcceleratorSpec()
+        opp = cache.plan_cache_key(
+            "het", model, spec, Objective.ACCESSES, interlayer=True
+        )
+        joint = cache.plan_cache_key(
+            "het", model, spec, Objective.ACCESSES, interlayer=True,
+            interlayer_mode="joint",
+        )
+        off = cache.plan_cache_key("het", model, spec, Objective.ACCESSES)
+        assert len({opp, joint, off}) == 3
+
+    def test_spec_payload_covers_every_field(self):
+        payload = cache.spec_payload(AcceleratorSpec())
+        assert set(payload) == {
+            f.name for f in dataclasses.fields(AcceleratorSpec)
+        }
+        assert payload["data_width_bits"] == 8
+
+    def test_dram_fields_in_payload(self):
+        from repro.dram import DEFAULT_DDR4_SPEC
+
+        flat = cache.spec_payload(AcceleratorSpec())
+        banked = cache.spec_payload(AcceleratorSpec().with_dram(DEFAULT_DDR4_SPEC))
+        assert flat["dram"] is None
+        assert banked["dram"]["channels"] == DEFAULT_DDR4_SPEC.channels
+        assert flat != banked
+
+    def test_model_digest_depends_on_dims(self):
+        base = cache.model_digest(get_model("MobileNetV2"))
+        resized = cache.model_digest(get_model("MobileNetV2", input_size=128))
+        assert base != resized
+
+    def test_schema_version_in_key(self, monkeypatch):
+        model = get_model("MobileNet")
+        spec = AcceleratorSpec()
+        key1 = cache.plan_cache_key("het", model, spec, Objective.ACCESSES)
+        monkeypatch.setattr(cache, "CACHE_SCHEMA_VERSION", cache.CACHE_SCHEMA_VERSION + 1)
+        key2 = cache.plan_cache_key("het", model, spec, Objective.ACCESSES)
+        assert key1 != key2
+
+
+class TestCacheStorage:
+    def test_round_trip_is_bit_identical(self):
+        plan = common.het_plan("MobileNet", 64)
+        common.clear_in_process_caches()
+        again = common.het_plan("MobileNet", 64)
+        assert cache.stats.hits >= 1
+        assert again.total_accesses_bytes == plan.total_accesses_bytes
+        assert again.total_latency_cycles == plan.total_latency_cycles
+        assert [a.label for a in again] == [a.label for a in plan]
+
+    def test_corrupt_entry_recomputes(self):
+        common.het_plan("MobileNet", 64)
+        [entry] = list(cache.cache_dir().rglob("*.pkl"))
+        entry.write_bytes(b"not a pickle")
+        common.clear_in_process_caches()
+        plan = common.het_plan("MobileNet", 64)
+        assert plan.total_accesses_bytes > 0
+        assert not entry.exists() or entry.read_bytes() != b"not a pickle"
+
+    def test_no_cache_env_disables(self, monkeypatch):
+        monkeypatch.setenv(cache.ENV_NO_CACHE, "1")
+        common.het_plan("MobileNet", 64)
+        assert cache.entry_count() == 0
+
+    def test_clear_removes_entries(self):
+        common.het_plan("MobileNet", 64)
+        common.hom_plan("MobileNet", 64)
+        assert cache.entry_count() == 2
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+    def test_manager_plan_cached_shares_keys_with_common(self):
+        spec = common.spec_for(64)
+        plan = MemoryManager(spec).plan_cached(get_model("MobileNet"))
+        assert cache.entry_count() == 1
+        common.clear_in_process_caches()
+        cache.stats.reset()
+        via_common = common.het_plan("MobileNet", 64)
+        assert cache.stats.hits == 1  # same entry, no recompute
+        assert via_common.total_accesses_bytes == plan.total_accesses_bytes
+
+
+class TestImmutability:
+    def test_baseline_results_read_only(self):
+        results = common.baseline_results("MobileNet", 64)
+        with pytest.raises(TypeError):
+            results["sa_50_50"] = None  # type: ignore[index]
+        with pytest.raises((TypeError, AttributeError)):
+            results.clear()  # type: ignore[attr-defined]
+        # The mapping refetched later is uncorrupted.
+        again = common.baseline_results("MobileNet", 64)
+        assert set(again) == {"sa_25_75", "sa_50_50", "sa_75_25"}
+
+    def test_plans_are_frozen(self):
+        plan = common.het_plan("MobileNet", 64)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.scheme = "tampered"  # type: ignore[misc]
+        assignment = plan.assignments[0]
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            assignment.accesses_bytes = 0  # type: ignore[misc]
+
+
+class TestUnknownArtifact:
+    def test_run_all_raises_typed_error(self):
+        with pytest.raises(UnknownArtifactError) as err:
+            run_all(only=["fig99", "table2"])
+        assert err.value.unknown == ["fig99"]
+        assert "table2" in err.value.available
+        assert "fig99" in str(err.value)
+
+    def test_error_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            run_all(only=["fig99"])
+
+    def test_module_cli_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["fig99"])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err
+        assert "table2" in err  # available ids are listed
+
+    def test_repro_cli_exits_2(self, capsys):
+        from repro.cli import main as repro_main
+
+        with pytest.raises(SystemExit) as exc:
+            repro_main(["experiments", "fig99"])
+        assert exc.value.code == 2
+        assert "available artifacts" in capsys.readouterr().err
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--jobs", "0", "table2"])
+        assert exc.value.code == 2
+
+
+def _renders(tables):
+    return [t.render() for t in tables]
+
+
+class TestParity:
+    """Serial, parallel and warm-cache runs must be bit-identical."""
+
+    def test_serial_vs_parallel_vs_warm(self):
+        serial = run_experiments(FAST_SUBSET, jobs=1)
+        serial_out = _renders(serial.tables)
+
+        common.clear_in_process_caches()
+        parallel = run_experiments(FAST_SUBSET, jobs=4)
+        assert _renders(parallel.tables) == serial_out
+
+        common.clear_in_process_caches()
+        warm = run_experiments(FAST_SUBSET, jobs=1)
+        assert _renders(warm.tables) == serial_out
+        assert warm.cache_hits > 0
+
+    def test_csv_export_identical(self, tmp_path):
+        run_all(csv_dir=str(tmp_path / "a"), only=["table2", "dram-sweep"])
+        common.clear_in_process_caches()
+        run_all(csv_dir=str(tmp_path / "b"), only=["table2", "dram-sweep"], jobs=2)
+        for name in ("table2", "dram-sweep"):
+            cold = (tmp_path / "a" / f"{name}.csv").read_text()
+            warm = (tmp_path / "b" / f"{name}.csv").read_text()
+            assert cold == warm
+
+
+class TestInstrumentation:
+    def test_report_summary_and_bench(self, tmp_path):
+        report = run_report(only=["table2", "dram-sweep"])
+        summary = report.summary_table().render()
+        assert "table2" in summary and "dram-sweep" in summary
+        assert "TOTAL" in summary
+
+        bench = tmp_path / "BENCH_experiments.json"
+        report.write_bench(bench)
+        record = json.loads(bench.read_text())
+        assert record["jobs"] == 1
+        assert record["cache"]["schema_version"] == cache.CACHE_SCHEMA_VERSION
+        names = [a["name"] for a in record["artifacts"]]
+        assert names == ["table2", "dram-sweep"]
+        assert all(a["seconds"] >= 0 for a in record["artifacts"])
+
+    def test_warm_run_reports_hits(self):
+        run_report(only=["dram-sweep"])
+        common.clear_in_process_caches()
+        warm = run_report(only=["dram-sweep"])
+        assert warm.results[0].cache_hits >= 6  # one het plan per zoo model
+
+    def test_plan_tasks_cover_heavy_artifacts(self):
+        tasks = plan_tasks(list(ARTIFACTS))
+        kinds = {t[0] for t in tasks}
+        assert kinds == {"het", "hom", "baseline"}
+        # fig7 sweeps widths: 16- and 32-bit tasks must be present.
+        widths = {t[4] for t in tasks}
+        assert {8, 16, 32} <= widths
+        # No duplicates.
+        assert len(tasks) == len(set(tasks))
+
+    def test_plan_tasks_empty_for_cheap_artifacts(self):
+        assert plan_tasks(["table2", "fig1", "fig3"]) == []
+
+
+class TestRunnerCli:
+    def test_jobs_flag_and_bench(self, tmp_path, capsys):
+        bench = tmp_path / "bench.json"
+        assert main(["--jobs", "2", "--bench", str(bench), "table2", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Experiment engine summary (jobs=2)" in out
+        assert json.loads(bench.read_text())["jobs"] == 2
+
+    def test_clear_cache_flag(self, capsys):
+        common.het_plan("MobileNet", 64)
+        assert cache.entry_count() == 1
+        assert main(["--clear-cache"]) == 0
+        assert cache.entry_count() == 0
+        assert "cleared 1 cache entries" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["--no-cache", "table2"]) == 0
+        assert cache.entry_count() == 0
