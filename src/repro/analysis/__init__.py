@@ -1,0 +1,63 @@
+"""Domain-aware source static analysis (``repro lint``, ``R0xx`` codes).
+
+Where :mod:`repro.verify` proves emitted *plans* consistent at runtime
+(``V0xx`` diagnostics), this package proves *source files* obey the
+project's domain invariants at review time: unit discipline in the
+Eq. (1)/(2) GLB accounting, determinism and picklability on the process
+-pool experiment path, and cross-file registry consistency.  Violations
+are :class:`Finding` records with stable ``R0xx`` codes (see
+:mod:`repro.analysis.codes` and ``docs/static-analysis.md``); intentional
+exceptions carry inline ``# repro: noqa[Rxxx] -- reason`` markers, and
+grandfathered findings live in the committed ``lint-baseline.json``.
+
+Entry points: :func:`analyze_paths`, :func:`analyze_source`, and the
+``repro lint`` CLI subcommand.
+"""
+
+from .baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    load_baseline,
+    write_baseline,
+)
+from .codes import (
+    ALL_RULE_CODES,
+    RULE_DESCRIPTIONS,
+    RULE_PACKS,
+    RULE_TITLES,
+    WARNING_CODES,
+    describe_rule,
+)
+from .engine import analyze_paths, analyze_source, find_project_root, iter_python_files
+from .findings import AnalysisReport, Finding, severity_of
+from .rules import REGISTRY, Project, Rule, RuleRegistry, SourceFile, all_rules, rule
+from .suppressions import Suppression, parse_suppressions
+
+__all__ = [
+    "ALL_RULE_CODES",
+    "AnalysisReport",
+    "BASELINE_FILENAME",
+    "Baseline",
+    "Finding",
+    "Project",
+    "REGISTRY",
+    "RULE_DESCRIPTIONS",
+    "RULE_PACKS",
+    "RULE_TITLES",
+    "Rule",
+    "RuleRegistry",
+    "SourceFile",
+    "Suppression",
+    "WARNING_CODES",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "describe_rule",
+    "find_project_root",
+    "iter_python_files",
+    "load_baseline",
+    "parse_suppressions",
+    "rule",
+    "severity_of",
+    "write_baseline",
+]

@@ -1,0 +1,86 @@
+"""The committed baseline of grandfathered findings.
+
+New rules occasionally land against a codebase with pre-existing
+violations that are expensive to fix in the same change.  Rather than
+weakening the rule or sprinkling noqa comments, such findings are
+*baselined*: recorded in a committed JSON file by fingerprint (code +
+path + message — line-independent, so unrelated edits do not churn it).
+Baselined findings are reported but do not gate; deleting an entry (or
+the fixing of the underlying code) re-arms the rule.
+
+Workflow::
+
+    repro lint src/repro --write-baseline    # (re)generate lint-baseline.json
+    repro lint src/repro --no-baseline       # see grandfathered findings too
+
+The repo's policy is a *shrinking* baseline: entries may be removed,
+never added, outside a change that introduces a new rule.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+#: Schema version of the baseline file.
+BASELINE_SCHEMA = 1
+
+#: Default baseline filename, looked up at the project root.
+BASELINE_FILENAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class Baseline:
+    """Parsed baseline: fingerprints of grandfathered findings."""
+
+    fingerprints: frozenset[str] = frozenset()
+    path: Path | None = None
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def covers(self, finding: Finding) -> bool:
+        """Whether the baseline grandfathers the given finding."""
+        return finding.fingerprint() in self.fingerprints
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    try:
+        raw = json.loads(path.read_text())
+    except FileNotFoundError:
+        return Baseline(path=path)
+    if not isinstance(raw, dict) or raw.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(f"{path}: not a schema-{BASELINE_SCHEMA} baseline file")
+    entries = raw.get("entries", [])
+    return Baseline(
+        fingerprints=frozenset(str(e["fingerprint"]) for e in entries),
+        path=path,
+    )
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write every unsuppressed finding's fingerprint; returns the count.
+
+    Entries keep the human-readable code/path/message next to the
+    fingerprint so baseline diffs review like normal code.
+    """
+    entries = [
+        {
+            "code": f.code,
+            "path": f.path,
+            "message": f.message,
+            "fingerprint": f.fingerprint(),
+        }
+        for f in sorted(
+            (f for f in findings if not f.suppressed),
+            key=lambda f: (f.path, f.line, f.code),
+        )
+    ]
+    payload = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)

@@ -1,0 +1,167 @@
+"""The rule catalog of the source static analyzer (``R`` codes).
+
+Mirrors the structure of :mod:`repro.verify.codes` (the runtime plan
+verifier's ``V`` catalog): codes are stable identifiers referenced by
+tests, suppression comments and documentation, so existing codes are
+never renumbered — new rules append new codes.  ``docs/static-analysis.md``
+mirrors this table and a test asserts the two stay in sync.
+
+Catalog overview
+----------------
+* ``R000`` is the engine-level code for files the analyzer cannot parse.
+* ``R001``–``R004`` — the **unit-safety** pack: the paper's Eqs. (1)/(2)
+  GLB accounting mixes elements, bytes and bits, and a single silent
+  unit slip flips which policy wins, so raw unit arithmetic is flagged.
+* ``R010``–``R015`` — the **determinism & parallel-safety** pack: the
+  experiment engine fans work across a process pool backed by a
+  content-addressed cache, so nondeterministic inputs, unpicklable
+  callables and order-unstable digests are silent output corrupters.
+* ``R020``–``R023`` — the **registry-consistency** pack: cross-file
+  invariants (diagnostic catalogs, the policy registry, the experiment
+  artifact registry) that no per-file linter can see.
+"""
+
+from __future__ import annotations
+
+#: code → short title (stable; rendered in reports and docs).
+RULE_TITLES: dict[str, str] = {
+    "R000": "unparsable source file",
+    "R001": "byte/element unit mix",
+    "R002": "bare double-buffer factor",
+    "R003": "float creep in integer-unit assignment",
+    "R004": "magic unit-conversion constant",
+    "R010": "nondeterministic call in library code",
+    "R011": "environment read in library code",
+    "R012": "unpicklable callable submitted to process pool",
+    "R013": "unordered set iteration in digest construction",
+    "R014": "unsorted JSON serialization in digest construction",
+    "R015": "mutable module-level state",
+    "R020": "diagnostic catalog inconsistent",
+    "R021": "policy class not registered",
+    "R022": "experiment artifact registry inconsistent",
+    "R023": "unknown diagnostic code referenced",
+}
+
+#: code → full description (the invariant that must hold).
+RULE_DESCRIPTIONS: dict[str, str] = {
+    "R000": (
+        "Every analyzed source file must parse as Python; a syntax error "
+        "makes every other rule blind to the file."
+    ),
+    "R001": (
+        "Additive arithmetic and ordering comparisons must not mix "
+        "quantities carrying different units (``*_bytes`` vs ``*_elems`` "
+        "vs ``*_bits`` vs ``*_cycles``): the Eq. (1)/(2) GLB accounting "
+        "is only meaningful when both sides share a unit, and a silent "
+        "byte/element mix scales results by the data width."
+    ),
+    "R002": (
+        "The Eq. (2) double-buffer factor must come from the prefetch "
+        "helpers (``2 if prefetch else 1`` bound to a named factor), "
+        "never from a bare ``* 2`` on a tile/footprint/memory quantity — "
+        "an unconditional doubling miscounts the non-prefetch policies."
+    ),
+    "R003": (
+        "A quantity named as an integer unit (``*_bytes``, ``*_elems``, "
+        "``*_bits``) must not be assigned from an expression using true "
+        "division or float literals: float creep in capacity and "
+        "footprint math turns exact Eq. (1) comparisons into "
+        "epsilon-dependent ones."
+    ),
+    "R004": (
+        "Unit conversions must use the helpers in ``repro.arch.units`` "
+        "(``kib``/``to_kib``/…) or the spec's ``bytes_per_elem`` rather "
+        "than raw ``8``/``1024``/``1048576`` factors on byte/bit-typed "
+        "operands, so every conversion site is greppable and consistent."
+    ),
+    "R010": (
+        "Library code must not call nondeterministic sources — "
+        "``random``/``numpy.random`` module functions, ``time.time``, "
+        "``datetime.now``, ``os.getpid``, ``os.urandom``, ``uuid`` — "
+        "because experiment workers must produce bit-identical results "
+        "at any job count and cache temperature.  Monotonic timers used "
+        "purely for wall-time instrumentation (``time.perf_counter``) "
+        "are exempt."
+    ),
+    "R011": (
+        "Reads of ambient environment state (``os.environ``, "
+        "``os.getenv``, ``Path.home``, ``expanduser``) make results "
+        "depend on the invoking shell; they belong in explicitly "
+        "documented configuration boundaries only."
+    ),
+    "R012": (
+        "Callables handed to a process pool's ``submit``/``map`` must be "
+        "module-level functions: lambdas and nested functions do not "
+        "pickle, so they fail only at runtime and only on the parallel "
+        "path."
+    ),
+    "R013": (
+        "Functions that build cache keys or digests must not iterate "
+        "sets or frozensets without ``sorted()``: set order varies with "
+        "``PYTHONHASHSEED`` across worker processes, silently forking "
+        "the cache key for identical inputs."
+    ),
+    "R014": (
+        "``json.dumps`` inside cache-key/digest construction must pass "
+        "``sort_keys=True`` so that dict insertion order cannot leak "
+        "into content-addressed keys."
+    ),
+    "R015": (
+        "Module-level mutable state (list/dict/set literals, mutable "
+        "collection constructors, non-frozen dataclass instances bound "
+        "to lowercase names) is copied, not shared, by pool workers — "
+        "mutations silently diverge between processes."
+    ),
+    "R020": (
+        "Every diagnostic code defined in a catalog (``V0xx`` in "
+        "``repro.verify.codes``, ``R0xx`` in ``repro.analysis.codes``) "
+        "must be defined exactly once, carry both a title and a "
+        "description, be raised somewhere in the source, and appear in "
+        "its documentation table."
+    ),
+    "R021": (
+        "Every concrete ``Policy`` subclass must be registered in "
+        "``repro.policies.registry`` — an unregistered policy silently "
+        "drops out of Algorithm 1's candidate set."
+    ),
+    "R022": (
+        "Every experiment artifact id must be unique in the "
+        "``ARTIFACTS`` registry and listed in ``EXPERIMENTS.md``, so the "
+        "documented artifact set and the runnable one cannot drift."
+    ),
+    "R023": (
+        "No source file or documentation table may reference a "
+        "diagnostic code (``V0xx``/``R0xx``) that is absent from its "
+        "catalog — stale codes in docs or checks are dead identifiers."
+    ),
+}
+
+#: code → rule pack ("engine", "units", "determinism", "registry").
+RULE_PACKS: dict[str, str] = {
+    "R000": "engine",
+    "R001": "units",
+    "R002": "units",
+    "R003": "units",
+    "R004": "units",
+    "R010": "determinism",
+    "R011": "determinism",
+    "R012": "determinism",
+    "R013": "determinism",
+    "R014": "determinism",
+    "R015": "determinism",
+    "R020": "registry",
+    "R021": "registry",
+    "R022": "registry",
+    "R023": "registry",
+}
+
+#: Codes reported as warnings (hazards) rather than errors (defects).
+WARNING_CODES: frozenset[str] = frozenset({"R004", "R011"})
+
+#: All catalog codes in numeric order.
+ALL_RULE_CODES: tuple[str, ...] = tuple(sorted(RULE_TITLES))
+
+
+def describe_rule(code: str) -> str:
+    """Full catalog description of a rule code (raises on unknown codes)."""
+    return RULE_DESCRIPTIONS[code]

@@ -1,0 +1,428 @@
+"""Determinism & parallel-safety rule pack (``R010``–``R015``).
+
+The experiment engine (:mod:`repro.experiments.engine`) fans planning
+work across a process pool on top of a content-addressed on-disk cache
+(:mod:`repro.experiments.cache`).  That architecture has a contract the
+runtime plan verifier cannot check, because it is a property of *code*
+rather than of plans: worker functions must be pure (same inputs, same
+bytes, in every process), picklable, and must derive cache keys from
+deterministically ordered data.  These rules encode the contract:
+
+* ``R010``/``R011`` flag nondeterministic inputs (clocks, RNGs, pids,
+  environment reads) anywhere in the library — the worker-reachable set
+  is effectively the whole package, and intentional configuration
+  boundaries carry inline ``noqa[R011]`` markers with reasons.
+* ``R012`` flags lambdas/nested functions submitted to a process pool
+  (they fail to pickle, but only at runtime and only on the parallel
+  path).
+* ``R013``/``R014`` flag order-unstable constructs inside functions that
+  build digests or cache keys (set iteration without ``sorted``,
+  ``json.dumps`` without ``sort_keys=True``) — set order varies with
+  ``PYTHONHASHSEED`` across worker processes.
+* ``R015`` flags mutable module-level state: each pool worker gets a
+  private copy, so mutations silently diverge between processes.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from .findings import Finding
+from .rules import SourceFile, rule
+
+#: Exact dotted call targets that are nondeterministic.
+_NONDETERMINISTIC_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "os.getpid",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Dotted prefixes whose every call is nondeterministic.
+_NONDETERMINISTIC_PREFIXES = ("random.", "secrets.", "numpy.random.")
+
+#: Targets exempt from R010 even under a nondeterministic prefix.
+_DETERMINISTIC_EXEMPT = frozenset({"numpy.random.Generator"})
+
+#: Environment-read call targets (R011).
+_ENV_READ_CALLS = frozenset(
+    {
+        "os.getenv",
+        "os.environ.get",
+        "os.environ.items",
+        "os.environ.keys",
+        "os.environ.values",
+        "os.path.expanduser",
+        "pathlib.Path.home",
+    }
+)
+
+#: Constructors that produce process-pool executors (R012).
+_POOL_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+#: Function names that construct digests / cache keys (R013, R014).
+_DIGEST_CONTEXT = re.compile(r"digest|fingerprint|canonical|hash|(?:^|_)key")
+
+#: Mutable builtin constructors for R015.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+)
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local alias → dotted module/object path from import statements.
+
+    ``import numpy as np`` maps ``np → numpy``; ``from random import
+    choice`` maps ``choice → random.choice``; ``from concurrent.futures
+    import ProcessPoolExecutor`` maps the class to its dotted path.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+                if a.asname:
+                    aliases[a.asname] = a.name
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                if a.name != "*":
+                    aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def resolve_call_target(func: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Dotted path a call expression resolves to, through import aliases."""
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = aliases.get(node.id, node.id)
+    return ".".join([base, *reversed(parts)])
+
+
+class _NondeterminismVisitor(ast.NodeVisitor):
+    """R010/R011: nondeterministic calls and environment reads."""
+
+    def __init__(self, file: SourceFile) -> None:
+        self.file = file
+        self.aliases = import_map(file.tree)
+        self.findings: list[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Classify every call by its resolved dotted target."""
+        target = resolve_call_target(node.func, self.aliases)
+        if target is not None:
+            if target in _ENV_READ_CALLS:
+                self.findings.append(
+                    self.file.finding(
+                        "R011",
+                        node,
+                        f"environment read {target}(); results now depend on "
+                        f"the invoking shell",
+                    )
+                )
+            elif self._is_nondeterministic(target, node):
+                self.findings.append(
+                    self.file.finding(
+                        "R010",
+                        node,
+                        f"nondeterministic call {target}(); worker outputs "
+                        f"must be bit-identical across processes and reruns",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        """Flag ``os.environ[...]`` reads (stores are configuration)."""
+        if isinstance(node.ctx, ast.Load):
+            target = resolve_call_target(node.value, self.aliases)
+            if target == "os.environ":
+                self.findings.append(
+                    self.file.finding(
+                        "R011",
+                        node,
+                        "environment read os.environ[...]; results now "
+                        "depend on the invoking shell",
+                    )
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_nondeterministic(target: str, node: ast.Call) -> bool:
+        if target in _DETERMINISTIC_EXEMPT:
+            return False
+        if target in _NONDETERMINISTIC_CALLS:
+            return True
+        for prefix in _NONDETERMINISTIC_PREFIXES:
+            if target.startswith(prefix):
+                # A seeded default_rng(seed) is deterministic.
+                if target.endswith("default_rng") and (node.args or node.keywords):
+                    return False
+                return True
+        return False
+
+
+@rule("R010")
+def check_nondeterministic_calls(file: SourceFile) -> Iterator[Finding]:
+    """Flag clock/RNG/pid calls that break run-to-run determinism."""
+    visitor = _NondeterminismVisitor(file)
+    visitor.visit(file.tree)
+    yield from (f for f in visitor.findings if f.code == "R010")
+
+
+@rule("R011")
+def check_environment_reads(file: SourceFile) -> Iterator[Finding]:
+    """Flag ambient environment reads outside configuration boundaries."""
+    visitor = _NondeterminismVisitor(file)
+    visitor.visit(file.tree)
+    yield from (f for f in visitor.findings if f.code == "R011")
+
+
+class _PoolSubmitVisitor(ast.NodeVisitor):
+    """R012: lambdas/nested defs handed to process-pool submit/map."""
+
+    def __init__(self, file: SourceFile) -> None:
+        self.file = file
+        self.aliases = import_map(file.tree)
+        self.pool_names: set[str] = set()
+        self.nested_defs: set[str] = set()
+        self.findings: list[Finding] = []
+        self._depth = 0
+
+    def _is_pool_ctor(self, value: ast.expr) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        target = resolve_call_target(value.func, self.aliases)
+        return target in _POOL_CONSTRUCTORS if target else False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        """Track ``pool = ProcessPoolExecutor(...)`` bindings."""
+        if self._is_pool_ctor(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.pool_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        """Track ``with ProcessPoolExecutor(...) as pool`` bindings."""
+        for item in node.items:
+            if self._is_pool_ctor(item.context_expr) and isinstance(
+                item.optional_vars, ast.Name
+            ):
+                self.pool_names.add(item.optional_vars.id)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Record nested function definitions (unpicklable by pools)."""
+        if self._depth > 0:
+            self.nested_defs.add(node.name)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Treat async defs like regular ones."""
+        if self._depth > 0:
+            self.nested_defs.add(node.name)
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag unpicklable first arguments of pool submit/map calls."""
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("submit", "map")
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self.pool_names
+            and node.args
+        ):
+            candidate = node.args[0]
+            if isinstance(candidate, ast.Lambda):
+                self.findings.append(
+                    self.file.finding(
+                        "R012",
+                        node,
+                        f"lambda submitted to process pool "
+                        f"'{node.func.value.id}.{node.func.attr}'; lambdas do "
+                        f"not pickle — use a module-level function",
+                    )
+                )
+            elif (
+                isinstance(candidate, ast.Name) and candidate.id in self.nested_defs
+            ):
+                self.findings.append(
+                    self.file.finding(
+                        "R012",
+                        node,
+                        f"nested function '{candidate.id}' submitted to "
+                        f"process pool '{node.func.value.id}.{node.func.attr}'; "
+                        f"nested functions do not pickle — hoist it to module "
+                        f"level",
+                    )
+                )
+        self.generic_visit(node)
+
+
+@rule("R012")
+def check_pool_submissions(file: SourceFile) -> Iterator[Finding]:
+    """Flag unpicklable callables handed to process pools."""
+    visitor = _PoolSubmitVisitor(file)
+    # Two passes: bindings/nested defs may appear after the call site.
+    visitor.visit(file.tree)
+    visitor.findings.clear()
+    visitor.visit(file.tree)
+    # The second pass records pool names / nested defs twice; findings were
+    # cleared in between, so each violation is reported exactly once.
+    yield from visitor.findings
+
+
+def _digest_functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function whose name marks it as digest/key construction."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _DIGEST_CONTEXT.search(node.name.lower()):
+                yield node
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether an expression evidently evaluates to a set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@rule("R013")
+def check_unordered_digest_iteration(file: SourceFile) -> Iterator[Finding]:
+    """Flag set iteration without sorted() inside digest construction."""
+    for func in _digest_functions(file.tree):
+        for node in ast.walk(func):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield file.finding(
+                        "R013",
+                        node,
+                        f"iteration over an unordered set in digest function "
+                        f"'{func.name}'; wrap it in sorted() — set order "
+                        f"varies with PYTHONHASHSEED across processes",
+                    )
+
+
+@rule("R014")
+def check_unsorted_json_digest(file: SourceFile) -> Iterator[Finding]:
+    """Flag json.dumps without sort_keys=True in digest construction."""
+    aliases = import_map(file.tree)
+    for func in _digest_functions(file.tree):
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            target = resolve_call_target(node.func, aliases)
+            if target != "json.dumps":
+                continue
+            sorts = any(
+                kw.arg == "sort_keys"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if not sorts:
+                yield file.finding(
+                    "R014",
+                    node,
+                    f"json.dumps in digest function '{func.name}' must pass "
+                    f"sort_keys=True so dict order cannot leak into keys",
+                )
+
+
+def _frozen_dataclasses(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """Same-module dataclass names, split into (frozen, mutable)."""
+    frozen: set[str] = set()
+    mutable: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for deco in node.decorator_list:
+            name = None
+            is_frozen = False
+            if isinstance(deco, ast.Name):
+                name = deco.id
+            elif isinstance(deco, ast.Call):
+                if isinstance(deco.func, ast.Name):
+                    name = deco.func.id
+                is_frozen = any(
+                    kw.arg == "frozen"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in deco.keywords
+                )
+            if name == "dataclass":
+                (frozen if is_frozen else mutable).add(node.name)
+    return frozen, mutable
+
+
+@rule("R015")
+def check_module_level_mutable_state(file: SourceFile) -> Iterator[Finding]:
+    """Flag lowercase module-level bindings of evidently mutable values."""
+    _, mutable_dataclasses = _frozen_dataclasses(file.tree)
+    for node in file.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name == name.upper():  # ALL_CAPS: constant by convention
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue  # dunders (__all__ etc.) are interpreter metadata
+            value = node.value
+            reason = None
+            if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+                reason = "a mutable literal"
+            elif isinstance(value, ast.Call):
+                called = None
+                if isinstance(value.func, ast.Name):
+                    called = value.func.id
+                elif isinstance(value.func, ast.Attribute):
+                    called = value.func.attr
+                if called in _MUTABLE_CONSTRUCTORS:
+                    reason = f"a mutable {called}()"
+                elif called in mutable_dataclasses:
+                    reason = f"a non-frozen dataclass {called}()"
+            if reason is not None:
+                yield file.finding(
+                    "R015",
+                    node,
+                    f"module-level name '{name}' binds {reason}; pool "
+                    f"workers copy module state, so mutations diverge "
+                    f"between processes",
+                )

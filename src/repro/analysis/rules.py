@@ -1,0 +1,168 @@
+"""Rule registry and analysis contexts.
+
+A :class:`Rule` binds a catalog code to a checker function.  Checkers
+come in two scopes:
+
+* ``file`` — called once per :class:`SourceFile` with that file's parsed
+  AST; this is where the unit-safety and determinism packs live.
+* ``project`` — called once per :class:`Project` with every parsed file
+  and the repository root; this is where cross-file registry-consistency
+  checks live.
+
+Rule modules self-register at import time via the :func:`rule`
+decorator; :func:`all_rules` imports the packs and returns the frozen
+registry.  Registration validates that every code exists in the
+:mod:`~repro.analysis.codes` catalog and is bound at most once — the
+registry itself satisfies the ``R020`` discipline it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from .codes import RULE_PACKS, RULE_TITLES
+from .findings import Finding, severity_of
+from .suppressions import Suppression, parse_suppressions
+
+
+@dataclass(frozen=True)
+class SourceFile:
+    """One parsed source file handed to file-scope checkers."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: tuple[Suppression, ...] = ()
+
+    @classmethod
+    def parse(cls, path: Path, relpath: str, source: str) -> "SourceFile":
+        """Parse a source text (raises :class:`SyntaxError` on bad input)."""
+        return cls(
+            path=path,
+            relpath=relpath,
+            source=source,
+            tree=ast.parse(source, filename=str(path)),
+            suppressions=parse_suppressions(source),
+        )
+
+    def finding(self, code: str, node: ast.AST | int, message: str) -> Finding:
+        """Build a finding anchored to an AST node (or raw line number)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        return Finding(
+            code=code,
+            path=self.relpath,
+            line=line,
+            message=message,
+            severity=severity_of(code),
+        )
+
+
+@dataclass(frozen=True)
+class Project:
+    """The whole analyzed file set, handed to project-scope checkers."""
+
+    root: Path
+    files: tuple[SourceFile, ...]
+
+    def find(self, rel_suffix: str) -> SourceFile | None:
+        """The analyzed file whose relpath ends with ``rel_suffix``."""
+        for f in self.files:
+            if f.relpath.endswith(rel_suffix):
+                return f
+        return None
+
+    def doc_text(self, relpath: str) -> str | None:
+        """Text of a repo document (``docs/…``), or None when absent."""
+        path = self.root / relpath
+        try:
+            return path.read_text()
+        except OSError:
+            return None
+
+    def finding(self, code: str, relpath: str, line: int, message: str) -> Finding:
+        """Build a finding anchored to an arbitrary project file/line."""
+        return Finding(
+            code=code,
+            path=relpath,
+            line=line,
+            message=message,
+            severity=severity_of(code),
+        )
+
+
+#: Checker signature: file-scope rules take a SourceFile, project-scope
+#: rules take a Project; both yield findings.
+Checker = Callable[..., Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered rule: a catalog code bound to a checker function."""
+
+    code: str
+    scope: str  # "file" | "project"
+    check: Checker
+
+    @property
+    def title(self) -> str:
+        """Catalog title of the rule's code."""
+        return RULE_TITLES[self.code]
+
+    @property
+    def pack(self) -> str:
+        """Catalog pack of the rule's code."""
+        return RULE_PACKS[self.code]
+
+
+@dataclass
+class RuleRegistry:
+    """Mutable registry the rule packs populate at import time."""
+
+    rules: dict[str, Rule] = field(default_factory=dict)
+
+    def register(self, code: str, scope: str, check: Checker) -> None:
+        """Bind ``code`` to ``check`` (rejects unknown/duplicate codes)."""
+        if code not in RULE_TITLES:
+            raise ValueError(f"rule code {code!r} is not in the catalog")
+        if code in self.rules:
+            raise ValueError(f"rule code {code!r} registered twice")
+        if scope not in ("file", "project"):
+            raise ValueError(f"unknown rule scope {scope!r}")
+        self.rules[code] = Rule(code=code, scope=scope, check=check)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(sorted(self.rules.values(), key=lambda r: r.code))
+
+    def file_rules(self) -> tuple[Rule, ...]:
+        """All file-scope rules, in code order."""
+        return tuple(r for r in self if r.scope == "file")
+
+    def project_rules(self) -> tuple[Rule, ...]:
+        """All project-scope rules, in code order."""
+        return tuple(r for r in self if r.scope == "project")
+
+
+#: The process-wide registry the packs register into.
+REGISTRY = RuleRegistry()
+
+
+def rule(code: str, scope: str = "file") -> Callable[[Checker], Checker]:
+    """Decorator registering a checker under a catalog code."""
+
+    def wrap(check: Checker) -> Checker:
+        REGISTRY.register(code, scope, check)
+        return check
+
+    return wrap
+
+
+def all_rules() -> RuleRegistry:
+    """Import the rule packs and return the populated registry."""
+    from . import determinism_rules, registry_rules, unit_rules
+
+    assert determinism_rules and registry_rules and unit_rules  # imported to register
+    return REGISTRY

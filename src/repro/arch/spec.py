@@ -94,7 +94,7 @@ class AcceleratorSpec:
     @property
     def bytes_per_elem(self) -> int:
         """Size of one tensor element in bytes."""
-        return self.data_width_bits // 8
+        return self.data_width_bits // 8  # repro: noqa[R004] -- the canonical bits->bytes boundary
 
     @property
     def macs_per_cycle(self) -> float:

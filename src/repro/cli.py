@@ -11,6 +11,8 @@ Usage::
     python -m repro sweep ResNet18 --glb 64,128,256,512,1024
     python -m repro dram ResNet18 --glb 256        # DRAM mapping-policy sweep
     python -m repro experiments fig5 table3        # regenerate paper artifacts
+    python -m repro verify --all --format json     # V0xx plan invariants
+    python -m repro lint src/repro --strict        # R0xx source lint
 
 Model arguments accept either a zoo name or a path to a JSON model
 description (the Fig. 4 input format, see ``repro.nn.io``).
@@ -136,8 +138,8 @@ def cmd_plan(args: argparse.Namespace) -> int:
         table.add_row(
             a.layer.name,
             a.label,
-            round(a.memory_bytes / 1024, 1),
-            round(a.accesses_bytes / 1024, 1),
+            round(to_kib(a.memory_bytes), 1),
+            round(to_kib(a.accesses_bytes), 1),
             int(a.latency_cycles),
             flags or "-",
         )
@@ -171,8 +173,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         table.add_row(
             ev.label,
             ev.plan.block_size if ev.plan.block_size is not None else "-",
-            round(ev.memory_bytes / 1024, 1),
-            round(ev.accesses_bytes / 1024, 1),
+            round(to_kib(ev.memory_bytes), 1),
+            round(to_kib(ev.accesses_bytes), 1),
             int(ev.latency_cycles),
             int(ev.latency.dma_cycles),
             int(ev.latency.compute_cycles),
@@ -266,7 +268,7 @@ def cmd_layout(args: argparse.Namespace) -> int:
                 region.name,
                 region.offset,
                 region.end,
-                round(region.size / 1024, 2),
+                round(to_kib(region.size), 2),
             )
     print(table.render())
     return 0
@@ -328,6 +330,9 @@ def cmd_pareto(args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     """Statically verify plans against the invariant catalog (V0xx codes)."""
+    import json
+
+    from .report.diagnostics import verify_payload
     from .verify import CODE_TITLES, describe, verify_network
 
     if args.list_codes:
@@ -357,6 +362,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         title=f"Plan verification, objective={args.objective}",
         headers=["Model", "GLB kB", "Scheme", "Checks", "Diagnostics", "Status"],
     )
+    reports = []
     failures = []
     for model in models:
         for glb in sizes:
@@ -375,9 +381,10 @@ def cmd_verify(args: argparse.Namespace) -> int:
                     interlayer=interlayer,
                 )
                 report = result.report
+                reports.append(report)
                 table.add_row(
                     model.name,
-                    glb // 1024,
+                    glb // kib(1),
                     result.scheme,
                     report.checks,
                     len(report.diagnostics),
@@ -385,6 +392,9 @@ def cmd_verify(args: argparse.Namespace) -> int:
                 )
                 if not report.ok:
                     failures.append(report)
+    if args.format == "json":
+        print(json.dumps(verify_payload(reports), indent=2, sort_keys=True))
+        return 1 if failures else 0
     print(table.render())
     for report in failures:
         print()
@@ -394,6 +404,58 @@ def cmd_verify(args: argparse.Namespace) -> int:
         return 1
     print("\nall plans verified: every invariant holds")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the R0xx domain lint over source files (see docs/static-analysis.md).
+
+    Exit codes: 0 clean, 1 findings above the gate, 2 usage errors.
+    """
+    import json
+
+    from .analysis import (
+        RULE_TITLES,
+        analyze_paths,
+        describe_rule,
+        load_baseline,
+        write_baseline,
+    )
+    from .report.diagnostics import lint_payload
+
+    if args.list_codes:
+        table = Table(title="Lint rule codes", headers=["Code", "Title", "Rationale"])
+        for code, title in sorted(RULE_TITLES.items()):
+            table.add_row(code, title, describe_rule(code))
+        print(table.render())
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            print(f"error: baseline file not found: {args.baseline}", file=sys.stderr)
+            return 2
+        baseline = load_baseline(baseline_path)
+    try:
+        report = analyze_paths(
+            paths, baseline=baseline, use_baseline=not args.no_baseline
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        out = Path(args.write_baseline)
+        write_baseline(out, report.active)
+        print(f"baseline with {len(report.active)} finding(s) written to {out}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(lint_payload(report), indent=2, sort_keys=True))
+    else:
+        print(report.render(show_silenced=args.show_silenced))
+    return 0 if report.ok(strict=args.strict) else 1
 
 
 def cmd_dram(args: argparse.Namespace) -> int:
@@ -555,7 +617,49 @@ def build_parser() -> argparse.ArgumentParser:
         help='het (also verifies het+il), hom, or "hom(<family>)"',
     )
     p.add_argument("--list-codes", action="store_true", help="print the catalog")
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json uses the shared repro-diagnostics/1 schema)",
+    )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("lint", help="domain static analysis (R0xx diagnostics)")
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json uses the shared repro-diagnostics/1 schema)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, not only errors (the CI gate)",
+    )
+    p.add_argument("--baseline", metavar="FILE", help="baseline file to apply")
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the committed lint-baseline.json",
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record all active findings as the new baseline and exit",
+    )
+    p.add_argument(
+        "--show-silenced",
+        action="store_true",
+        help="also list suppressed and baselined findings",
+    )
+    p.add_argument("--list-codes", action="store_true", help="print the rule catalog")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("dram", help="banked-DRAM mapping-policy sweep")
     p.add_argument("model", nargs="?", help="zoo model or JSON path")

@@ -145,7 +145,7 @@ def _effective_bandwidth(
     stats = simulate_schedule(schedule, layer, bytes_per_elem, dram)
     if stats.cycles <= 0.0:
         return flat_elems_per_cycle
-    total_elems = stats.total_bytes / bytes_per_elem
+    total_elems = stats.total_bytes // bytes_per_elem
     return total_elems / stats.cycles
 
 

@@ -23,7 +23,7 @@ from ..analyzer.algorithm1 import select_policy
 from ..analyzer.plan import ExecutionPlan, make_assignment
 from ..analyzer.planner import candidate_evaluations
 from ..arch.spec import AcceleratorSpec
-from ..arch.units import reduction_pct
+from ..arch.units import kib, reduction_pct
 from ..nn.model import Model
 from ..nn.zoo import get_model
 from ..report.table import Table
@@ -200,7 +200,7 @@ def baseline_dataflows(
         model = get_model(name)
         cycles = {}
         for dataflow in Dataflow:
-            config = replace(baseline_config(glb_kb * 1024, 0.5), dataflow=dataflow)
+            config = replace(baseline_config(kib(glb_kb), 0.5), dataflow=dataflow)
             key = cache.make_key(
                 "baseline-dataflow",
                 model=cache.model_digest(model),

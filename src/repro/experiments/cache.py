@@ -92,20 +92,20 @@ class CacheStats:
 
 #: Process-wide counters; worker processes each get their own copy and the
 #: engine aggregates the snapshots they return.
-stats = CacheStats()
+stats = CacheStats()  # repro: noqa[R015] -- per-process counters by design; workers return snapshots and the engine aggregates
 
 
 def cache_enabled() -> bool:
     """Whether the persistent cache is active (``REPRO_NO_CACHE`` unset)."""
-    return not os.environ.get(ENV_NO_CACHE)
+    return not os.environ.get(ENV_NO_CACHE)  # repro: noqa[R011] -- documented cache kill-switch, affects speed only
 
 
 def cache_dir() -> Path:
     """The active cache directory (not necessarily existing yet)."""
-    override = os.environ.get(ENV_CACHE_DIR)
+    override = os.environ.get(ENV_CACHE_DIR)  # repro: noqa[R011] -- documented cache location knob, affects placement only
     if override:
         return Path(override)
-    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")
+    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")  # repro: noqa[R011] -- XDG convention for cache placement, never results
     return Path(base) / "repro" / f"plans-v{CACHE_SCHEMA_VERSION}"
 
 

@@ -13,6 +13,7 @@ from typing import Sequence
 
 from ..analyzer import Objective, plan_heterogeneous
 from ..arch.spec import AcceleratorSpec
+from ..arch.units import to_kib, to_mib
 from ..nn.model import Model
 from ..report.table import Table, series_table
 
@@ -110,8 +111,8 @@ def sweep_table(title: str, parameter: str, points: list[SweepPoint]) -> Table:
         parameter,
         [p.value for p in points],
         {
-            "accesses (MB)": [round(p.accesses_bytes / 2**20, 2) for p in points],
+            "accesses (MB)": [round(to_mib(p.accesses_bytes), 2) for p in points],
             "latency (cycles)": [int(p.latency_cycles) for p in points],
-            "peak mem (kB)": [round(p.max_memory_bytes / 1024, 1) for p in points],
+            "peak mem (kB)": [round(to_kib(p.max_memory_bytes), 1) for p in points],
         },
     )

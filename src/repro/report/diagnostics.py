@@ -1,0 +1,218 @@
+"""One JSON diagnostics schema shared by ``repro lint`` and ``repro verify``.
+
+Both tools emit structured diagnostics — the plan verifier's ``V0xx``
+:class:`~repro.verify.diagnostics.Diagnostic` records and the static
+analyzer's ``R0xx`` :class:`~repro.analysis.findings.Finding` records.
+Downstream tooling (CI annotations, dashboards) should parse *one*
+schema, so this module is the single place that shapes either stream
+into the ``repro-diagnostics/1`` payload::
+
+    {
+      "schema": "repro-diagnostics/1",
+      "tool": "lint" | "verify",
+      "ok": bool,
+      "counts": {"checks": int, "errors": int, "warnings": int, ...},
+      "diagnostics": [
+        {
+          "code": "R001",            # ^[VR]\\d{3}$
+          "title": "...",
+          "severity": "error" | "warning",
+          "message": "...",
+          "location": {"file": str|null, "line": int|null,
+                        "subject": str|null, "layer": str|null,
+                        "policy": str|null},
+          "expected": any|null, "actual": any|null,
+          "suppressed": bool, "baselined": bool
+        }, ...
+      ]
+    }
+
+:func:`validate_payload` is the schema's executable definition; the
+regression test in ``tests/test_analysis.py`` holds both CLIs' JSON
+output to it.
+
+This module deliberately imports nothing from :mod:`repro.verify` or
+:mod:`repro.analysis` (both import the report layer), so the payload
+builders take the report objects duck-typed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.findings import AnalysisReport
+    from ..verify.diagnostics import VerificationReport
+
+#: Identifier of the shared schema (bump on incompatible changes).
+SCHEMA_ID = "repro-diagnostics/1"
+
+_CODE_RE = re.compile(r"^[VR]\d{3}$")
+_SEVERITIES = ("error", "warning")
+_LOCATION_KEYS = ("file", "line", "subject", "layer", "policy")
+_ENTRY_KEYS = (
+    "code",
+    "title",
+    "severity",
+    "message",
+    "location",
+    "expected",
+    "actual",
+    "suppressed",
+    "baselined",
+)
+
+
+def diagnostic_entry(
+    *,
+    code: str,
+    title: str,
+    severity: str,
+    message: str,
+    file: str | None = None,
+    line: int | None = None,
+    subject: str | None = None,
+    layer: str | None = None,
+    policy: str | None = None,
+    expected: Any = None,
+    actual: Any = None,
+    suppressed: bool = False,
+    baselined: bool = False,
+) -> dict[str, Any]:
+    """One schema-shaped diagnostic entry (all keys always present)."""
+    return {
+        "code": code,
+        "title": title,
+        "severity": severity,
+        "message": message,
+        "location": {
+            "file": file,
+            "line": line,
+            "subject": subject,
+            "layer": layer,
+            "policy": policy,
+        },
+        "expected": expected,
+        "actual": actual,
+        "suppressed": suppressed,
+        "baselined": baselined,
+    }
+
+
+def make_payload(
+    tool: str,
+    ok: bool,
+    counts: dict[str, int],
+    diagnostics: Iterable[dict[str, Any]],
+) -> dict[str, Any]:
+    """Assemble the full ``repro-diagnostics/1`` payload."""
+    return {
+        "schema": SCHEMA_ID,
+        "tool": tool,
+        "ok": ok,
+        "counts": dict(counts),
+        "diagnostics": list(diagnostics),
+    }
+
+
+def lint_payload(report: "AnalysisReport") -> dict[str, Any]:
+    """Shape a static-analysis report into the shared schema."""
+    entries = [
+        diagnostic_entry(
+            code=f.code,
+            title=f.title,
+            severity=f.severity.value,
+            message=f.message,
+            file=f.path,
+            line=f.line or None,
+            suppressed=f.suppressed,
+            baselined=f.baselined,
+        )
+        for f in sorted(report.findings, key=lambda f: (f.path, f.line, f.code))
+    ]
+    return make_payload("lint", report.ok(strict=True), report.counts(), entries)
+
+
+def verify_payload(reports: Iterable["VerificationReport"]) -> dict[str, Any]:
+    """Shape plan-verification reports into the shared schema."""
+    entries = []
+    checks = errors = warnings = 0
+    ok = True
+    for report in reports:
+        checks += report.checks
+        errors += len(report.errors)
+        warnings += len(report.warnings)
+        ok = ok and report.ok
+        for d in report.diagnostics:
+            entries.append(
+                diagnostic_entry(
+                    code=d.code,
+                    title=d.title,
+                    severity=d.severity.value,
+                    message=d.message,
+                    subject=report.subject,
+                    layer=d.layer_name,
+                    policy=d.policy,
+                    expected=d.expected,
+                    actual=d.actual,
+                )
+            )
+    counts = {"checks": checks, "errors": errors, "warnings": warnings}
+    return make_payload("verify", ok, counts, entries)
+
+
+def validate_payload(payload: Any) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid).
+
+    This function *is* the schema: the regression suite feeds both CLIs'
+    ``--format json`` output through it, so the two tools cannot drift
+    apart without a test failure.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SCHEMA_ID:
+        problems.append(f"schema must be {SCHEMA_ID!r}, got {payload.get('schema')!r}")
+    if not isinstance(payload.get("tool"), str):
+        problems.append("tool must be a string")
+    if not isinstance(payload.get("ok"), bool):
+        problems.append("ok must be a boolean")
+    counts = payload.get("counts")
+    if not isinstance(counts, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) for k, v in counts.items()
+    ):
+        problems.append("counts must be an object of integer counters")
+    diagnostics = payload.get("diagnostics")
+    if not isinstance(diagnostics, list):
+        return [*problems, "diagnostics must be a list"]
+    for i, entry in enumerate(diagnostics):
+        where = f"diagnostics[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        missing = [k for k in _ENTRY_KEYS if k not in entry]
+        if missing:
+            problems.append(f"{where} missing keys: {missing}")
+            continue
+        if not (isinstance(entry["code"], str) and _CODE_RE.match(entry["code"])):
+            problems.append(f"{where}.code must match ^[VR]ddd$")
+        if entry["severity"] not in _SEVERITIES:
+            problems.append(f"{where}.severity must be one of {_SEVERITIES}")
+        for key in ("title", "message"):
+            if not isinstance(entry[key], str):
+                problems.append(f"{where}.{key} must be a string")
+        location = entry["location"]
+        if not isinstance(location, dict):
+            problems.append(f"{where}.location is not an object")
+        else:
+            extra = [k for k in _LOCATION_KEYS if k not in location]
+            if extra:
+                problems.append(f"{where}.location missing keys: {extra}")
+            line = location.get("line")
+            if line is not None and not isinstance(line, int):
+                problems.append(f"{where}.location.line must be int or null")
+        for key in ("suppressed", "baselined"):
+            if not isinstance(entry[key], bool):
+                problems.append(f"{where}.{key} must be a boolean")
+    return problems

@@ -50,7 +50,7 @@ class ScaleSimConfig:
 
     @property
     def bytes_per_elem(self) -> int:
-        return self.data_width_bits // 8
+        return self.data_width_bits // 8  # repro: noqa[R004] -- the canonical bits->bytes boundary
 
     @property
     def total_sram_bytes(self) -> int:

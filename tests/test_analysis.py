@@ -1,0 +1,606 @@
+"""Tests for the domain static analyzer (``repro lint``, R0xx codes).
+
+Covers: one firing and one clean fixture per rule, inline suppressions,
+the baseline mechanism, the shared lint/verify JSON schema, the CLI exit
+codes (including a deliberately seeded bug from each rule pack), and the
+self-check that the repository's own sources lint clean.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULE_CODES,
+    RULE_PACKS,
+    RULE_TITLES,
+    WARNING_CODES,
+    Finding,
+    analyze_paths,
+    analyze_source,
+    load_baseline,
+    parse_suppressions,
+    severity_of,
+    write_baseline,
+)
+from repro.cli import main
+from repro.report.diagnostics import SCHEMA_ID, validate_payload
+from repro.verify.diagnostics import Severity
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def active_codes(findings) -> set[str]:
+    """Codes of the findings that still gate."""
+    return {f.code for f in findings if f.active}
+
+
+def mini_project(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Write a throwaway project (with a pyproject.toml root marker)."""
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='fixture'\n")
+    for rel, text in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return tmp_path
+
+
+# ----------------------------------------------------------------------
+# Catalog integrity
+# ----------------------------------------------------------------------
+
+
+def test_catalog_is_consistent() -> None:
+    assert ALL_RULE_CODES == tuple(sorted(RULE_TITLES))
+    assert set(RULE_PACKS) == set(RULE_TITLES)
+    assert WARNING_CODES <= set(RULE_TITLES)
+    assert severity_of("R004") is Severity.WARNING
+    assert severity_of("R001") is Severity.ERROR
+
+
+def test_unknown_code_rejected() -> None:
+    with pytest.raises(ValueError):
+        Finding(code="R999", path="x.py", line=1, message="nope")
+
+
+def test_docs_list_every_rule_code() -> None:
+    """docs/static-analysis.md has a table row per code, like verification.md."""
+    doc = (REPO_ROOT / "docs" / "static-analysis.md").read_text()
+    for code, title in RULE_TITLES.items():
+        assert f"| {code} | {title} |" in doc, f"{code} missing from docs"
+
+
+# ----------------------------------------------------------------------
+# Engine pack (R000)
+# ----------------------------------------------------------------------
+
+
+def test_r000_fires_on_syntax_error() -> None:
+    findings = analyze_source("def broken(:\n")
+    assert [f.code for f in findings] == ["R000"]
+
+
+def test_r000_clean_on_valid_source() -> None:
+    assert "R000" not in active_codes(analyze_source("x = 1\n"))
+
+
+# ----------------------------------------------------------------------
+# Unit-safety pack (R001-R004)
+# ----------------------------------------------------------------------
+
+
+def test_r001_fires_on_byte_element_addition() -> None:
+    src = "def fits(ifmap_bytes: int, halo_elems: int) -> int:\n"
+    src += "    return ifmap_bytes + halo_elems\n"
+    assert "R001" in active_codes(analyze_source(src))
+
+
+def test_r001_fires_on_cross_unit_comparison() -> None:
+    src = "def over(tile_elems: int, glb_bytes: int) -> bool:\n"
+    src += "    return tile_elems > glb_bytes\n"
+    assert "R001" in active_codes(analyze_source(src))
+
+
+def test_r001_clean_on_same_unit_math() -> None:
+    src = "def total(ifmap_bytes: int, filter_bytes: int) -> int:\n"
+    src += "    return ifmap_bytes + filter_bytes\n"
+    assert "R001" not in active_codes(analyze_source(src))
+
+
+def test_r002_fires_on_bare_doubling() -> None:
+    src = "def residency(tile_bytes: int) -> int:\n"
+    src += "    return tile_bytes * 2\n"
+    assert "R002" in active_codes(analyze_source(src))
+
+
+def test_r002_clean_inside_prefetch_helper() -> None:
+    src = "def prefetch_footprint(tile_bytes: int) -> int:\n"
+    src += "    return tile_bytes * 2\n"
+    assert "R002" not in active_codes(analyze_source(src))
+
+
+def test_r002_clean_with_named_factor() -> None:
+    src = "def residency(tile_bytes: int, factor: int) -> int:\n"
+    src += "    return tile_bytes * factor\n"
+    assert "R002" not in active_codes(analyze_source(src))
+
+
+def test_r003_fires_on_true_division_into_bytes() -> None:
+    src = "def f(n: int) -> int:\n    total_bytes = n / 4\n    return total_bytes\n"
+    assert "R003" in active_codes(analyze_source(src))
+
+
+def test_r003_clean_on_floor_division() -> None:
+    src = "def f(n: int) -> int:\n    total_bytes = n // 4\n    return total_bytes\n"
+    assert "R003" not in active_codes(analyze_source(src))
+
+
+def test_r003_clean_on_unitless_ratio() -> None:
+    src = "def f(n: int) -> float:\n    ratio = n / 4\n    return ratio\n"
+    assert "R003" not in active_codes(analyze_source(src))
+
+
+def test_r004_fires_on_magic_1024() -> None:
+    src = "def f(glb_bytes: int) -> float:\n    return glb_bytes / 1024\n"
+    findings = analyze_source(src)
+    assert "R004" in active_codes(findings)
+    (finding,) = [f for f in findings if f.code == "R004"]
+    assert finding.severity is Severity.WARNING
+
+
+def test_r004_clean_on_non_unit_operand() -> None:
+    src = "def f(offset: int) -> float:\n    return offset / 1024\n"
+    assert "R004" not in active_codes(analyze_source(src))
+
+
+# ----------------------------------------------------------------------
+# Determinism pack (R010-R015)
+# ----------------------------------------------------------------------
+
+
+def test_r010_fires_on_random_call() -> None:
+    src = "import random\n\ndef jitter() -> float:\n    return random.random()\n"
+    assert "R010" in active_codes(analyze_source(src))
+
+
+def test_r010_clean_on_perf_counter_and_seeded_rng() -> None:
+    src = (
+        "import time\n"
+        "import numpy\n\n"
+        "def bench() -> float:\n"
+        "    rng = numpy.random.default_rng(1234)\n"
+        "    del rng\n"
+        "    return time.perf_counter()\n"
+    )
+    assert "R010" not in active_codes(analyze_source(src))
+
+
+def test_r011_fires_on_environ_read() -> None:
+    src = "import os\n\ndef knob() -> str | None:\n    return os.environ.get('X')\n"
+    findings = analyze_source(src)
+    assert "R011" in active_codes(findings)
+    (finding,) = [f for f in findings if f.code == "R011"]
+    assert finding.severity is Severity.WARNING
+
+
+def test_r011_clean_on_environ_write() -> None:
+    src = "import os\n\ndef set_knob() -> None:\n    os.environ['X'] = '1'\n"
+    assert "R011" not in active_codes(analyze_source(src))
+
+
+def test_r012_fires_on_lambda_submitted_to_pool() -> None:
+    src = (
+        "from concurrent.futures import ProcessPoolExecutor\n\n"
+        "def run() -> None:\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(lambda: 1)\n"
+    )
+    assert "R012" in active_codes(analyze_source(src))
+
+
+def test_r012_clean_on_module_level_worker() -> None:
+    src = (
+        "from concurrent.futures import ProcessPoolExecutor\n\n"
+        "def worker() -> int:\n"
+        "    return 1\n\n"
+        "def run() -> None:\n"
+        "    with ProcessPoolExecutor() as pool:\n"
+        "        pool.submit(worker)\n"
+    )
+    assert "R012" not in active_codes(analyze_source(src))
+
+
+def test_r013_fires_on_set_iteration_in_key() -> None:
+    src = (
+        "def make_key(parts: list[str]) -> str:\n"
+        "    return ''.join(p for p in set(parts))\n"
+    )
+    assert "R013" in active_codes(analyze_source(src))
+
+
+def test_r013_clean_when_sorted() -> None:
+    src = (
+        "def make_key(parts: list[str]) -> str:\n"
+        "    return ''.join(p for p in sorted(set(parts)))\n"
+    )
+    assert "R013" not in active_codes(analyze_source(src))
+
+
+def test_r014_fires_on_unsorted_dumps_in_digest() -> None:
+    src = (
+        "import json\n\n"
+        "def model_digest(payload: dict) -> str:\n"
+        "    return json.dumps(payload)\n"
+    )
+    assert "R014" in active_codes(analyze_source(src))
+
+
+def test_r014_clean_with_sort_keys() -> None:
+    src = (
+        "import json\n\n"
+        "def model_digest(payload: dict) -> str:\n"
+        "    return json.dumps(payload, sort_keys=True)\n"
+    )
+    assert "R014" not in active_codes(analyze_source(src))
+
+
+def test_r014_clean_outside_digest_context() -> None:
+    src = (
+        "import json\n\n"
+        "def pretty(payload: dict) -> str:\n"
+        "    return json.dumps(payload)\n"
+    )
+    assert "R014" not in active_codes(analyze_source(src))
+
+
+def test_r015_fires_on_module_level_dict() -> None:
+    assert "R015" in active_codes(analyze_source("cache = {}\n"))
+
+
+def test_r015_clean_on_constants_and_dunders() -> None:
+    src = "LIMITS = {}\n__all__ = ['LIMITS']\n"
+    assert "R015" not in active_codes(analyze_source(src))
+
+
+# ----------------------------------------------------------------------
+# Registry pack (R020-R023), project scope
+# ----------------------------------------------------------------------
+
+CLEAN_CATALOG = {
+    "verify/codes.py": (
+        'CODE_TITLES = {"V001": "alpha"}\n'
+        'CODE_DESCRIPTIONS = {"V001": "alpha invariant"}\n'
+    ),
+    "verify/checks.py": 'def check() -> str:\n    return "V001"\n',
+    "docs/verification.md": "| Code | Title |\n|---|---|\n| V001 | alpha |\n",
+}
+
+
+def test_r020_fires_on_undescribed_unraised_code(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            **CLEAN_CATALOG,
+            "verify/codes.py": (
+                'CODE_TITLES = {"V001": "alpha", "V002": "beta"}\n'
+                'CODE_DESCRIPTIONS = {"V001": "alpha invariant"}\n'
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    messages = [f.message for f in report.active if f.code == "R020"]
+    assert any("no description" in m for m in messages)
+    assert any("never raised" in m for m in messages)
+    assert any("missing from" in m for m in messages)
+
+
+def test_r020_clean_on_consistent_catalog(tmp_path: Path) -> None:
+    root = mini_project(tmp_path, CLEAN_CATALOG)
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R020" not in active_codes(report)
+
+
+def test_r021_fires_on_unregistered_policy(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "policies/base.py": "class Policy:\n    pass\n",
+            "policies/extra.py": (
+                "from .base import Policy\n\n"
+                "class ShinyPolicy(Policy):\n    pass\n"
+            ),
+            "policies/registry.py": "REGISTERED = ()\n",
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r021 = [f for f in report.active if f.code == "R021"]
+    assert len(r021) == 1 and "ShinyPolicy" in r021[0].message
+
+
+def test_r021_clean_when_registered(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "policies/base.py": "class Policy:\n    pass\n",
+            "policies/extra.py": (
+                "from .base import Policy\n\n"
+                "class ShinyPolicy(Policy):\n    pass\n"
+            ),
+            "policies/registry.py": (
+                "from .extra import ShinyPolicy\n\nREGISTERED = (ShinyPolicy,)\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R021" not in active_codes(report)
+
+
+def test_r022_fires_on_undocumented_artifact(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "experiments/runner.py": (
+                "def make() -> None:\n    pass\n\n"
+                'ARTIFACTS = {"fig1": make, "fig2": make}\n'
+            ),
+            "EXPERIMENTS.md": "only `fig1` is described here\n",
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r022 = [f for f in report.active if f.code == "R022"]
+    assert len(r022) == 1 and "fig2" in r022[0].message
+
+
+def test_r022_clean_when_indexed(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "experiments/runner.py": (
+                "def make() -> None:\n    pass\n\n"
+                'ARTIFACTS = {"fig1": make, "fig2": make}\n'
+            ),
+            "EXPERIMENTS.md": "ids: `fig1`, `fig2`\n",
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R022" not in active_codes(report)
+
+
+def test_r023_fires_on_stale_code_reference(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            **CLEAN_CATALOG,
+            "verify/stale.py": 'def check() -> str:\n    return "V999"\n',
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r023 = [f for f in report.active if f.code == "R023"]
+    assert len(r023) == 1 and "V999" in r023[0].message
+
+
+def test_r023_clean_on_known_references(tmp_path: Path) -> None:
+    root = mini_project(tmp_path, CLEAN_CATALOG)
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R023" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# Suppressions and baseline
+# ----------------------------------------------------------------------
+
+
+def test_noqa_suppresses_matching_code() -> None:
+    src = (
+        "def fits(a_bytes: int, b_elems: int) -> int:\n"
+        "    return a_bytes + b_elems  # repro: noqa[R001] -- reviewed\n"
+    )
+    findings = analyze_source(src)
+    (finding,) = [f for f in findings if f.code == "R001"]
+    assert finding.suppressed and not finding.active
+
+
+def test_noqa_does_not_suppress_other_codes() -> None:
+    src = (
+        "def fits(a_bytes: int, b_elems: int) -> int:\n"
+        "    return a_bytes + b_elems  # repro: noqa[R002] -- wrong code\n"
+    )
+    assert "R001" in active_codes(analyze_source(src))
+
+
+def test_parse_suppressions_captures_codes_and_reason() -> None:
+    src = "x = 1  # repro: noqa[R001, R015] -- both intentional\n"
+    (supp,) = parse_suppressions(src)
+    assert supp.line == 1
+    assert set(supp.codes) == {"R001", "R015"}
+    assert supp.reason == "both intentional"
+
+
+def test_baseline_round_trip(tmp_path: Path) -> None:
+    finding = Finding(code="R015", path="pkg/mod.py", line=3, message="state")
+    path = tmp_path / "baseline.json"
+    assert write_baseline(path, [finding]) == 1
+    baseline = load_baseline(path)
+    assert baseline.covers(finding)
+    moved = Finding(code="R015", path="pkg/mod.py", line=99, message="state")
+    assert baseline.covers(moved)  # line-independent
+    other = Finding(code="R015", path="pkg/other.py", line=3, message="state")
+    assert not baseline.covers(other)
+
+
+def test_missing_baseline_is_empty(tmp_path: Path) -> None:
+    baseline = load_baseline(tmp_path / "nope.json")
+    assert len(baseline) == 0
+
+
+def test_baselined_findings_do_not_gate(tmp_path: Path) -> None:
+    root = mini_project(tmp_path, {"pkg/state.py": "cache = {}\n"})
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R015" in active_codes(report)
+    baseline_path = root / "baseline.json"
+    write_baseline(baseline_path, report.active)
+    rebaselined = analyze_paths(
+        [root], root=root, baseline=load_baseline(baseline_path)
+    )
+    assert rebaselined.ok(strict=True)
+    assert [f.code for f in rebaselined.baselined] == ["R015"]
+
+
+def test_committed_baseline_is_empty() -> None:
+    """Repo policy: the tree ships lint-clean, the baseline stays empty."""
+    raw = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
+    assert raw == {"schema": 1, "entries": []}
+
+
+# ----------------------------------------------------------------------
+# Self-check: the repository's own sources lint clean
+# ----------------------------------------------------------------------
+
+
+def test_repo_sources_lint_clean() -> None:
+    report = analyze_paths(
+        [REPO_ROOT / "src" / "repro"], root=REPO_ROOT, use_baseline=False
+    )
+    assert report.files > 100 and report.checks > report.files
+    offenders = "\n".join(f.render() for f in report.active)
+    assert report.ok(strict=True), f"unsuppressed findings:\n{offenders}"
+
+
+def test_repo_suppressions_all_carry_reasons() -> None:
+    """Every inline noqa in the tree explains itself."""
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        for supp in parse_suppressions(path.read_text()):
+            assert supp.reason, f"{path}:{supp.line}: noqa without a reason"
+
+
+# ----------------------------------------------------------------------
+# CLI behavior and exit codes
+# ----------------------------------------------------------------------
+
+
+def test_cli_list_codes(capsys: pytest.CaptureFixture[str]) -> None:
+    assert main(["lint", "--list-codes"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_RULE_CODES:
+        assert code in out
+
+
+def test_cli_missing_path_is_usage_error(capsys: pytest.CaptureFixture[str]) -> None:
+    assert main(["lint", "definitely/not/a/path.py"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_seeded_unit_bug_fails(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/fit.py": (
+                "def fits(ifmap_bytes: int, halo_elems: int) -> int:\n"
+                "    return ifmap_bytes + halo_elems\n"
+            )
+        },
+    )
+    assert main(["lint", str(root), "--no-baseline", "--strict"]) == 1
+    assert "R001" in capsys.readouterr().out
+
+
+def test_cli_seeded_determinism_bug_fails(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/worker.py": (
+                "import random\n\n"
+                "def sample() -> float:\n    return random.random()\n"
+            )
+        },
+    )
+    assert main(["lint", str(root), "--no-baseline", "--strict"]) == 1
+    assert "R010" in capsys.readouterr().out
+
+
+def test_cli_seeded_registry_bug_fails(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "policies/base.py": "class Policy:\n    pass\n",
+            "policies/rogue.py": (
+                "from .base import Policy\n\n"
+                "class RoguePolicy(Policy):\n    pass\n"
+            ),
+            "policies/registry.py": "REGISTERED = ()\n",
+        },
+    )
+    assert main(["lint", str(root), "--no-baseline", "--strict"]) == 1
+    assert "R021" in capsys.readouterr().out
+
+
+def test_cli_warnings_gate_only_under_strict(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    root = mini_project(
+        tmp_path,
+        {"pkg/conv.py": "def f(glb_bytes: int) -> float:\n    return glb_bytes / 1024\n"},
+    )
+    assert main(["lint", str(root), "--no-baseline"]) == 0
+    assert main(["lint", str(root), "--no-baseline", "--strict"]) == 1
+    capsys.readouterr()
+
+
+def test_cli_write_baseline_then_clean(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    root = mini_project(tmp_path, {"pkg/state.py": "cache = {}\n"})
+    baseline = tmp_path / "baseline.json"
+    assert (
+        main(["lint", str(root), "--no-baseline", "--write-baseline", str(baseline)])
+        == 0
+    )
+    assert main(["lint", str(root), "--baseline", str(baseline), "--strict"]) == 0
+    capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# Shared JSON schema (lint + verify)
+# ----------------------------------------------------------------------
+
+
+def test_lint_json_matches_shared_schema(
+    tmp_path: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/fit.py": (
+                "def fits(a_bytes: int, b_elems: int) -> int:\n"
+                "    return a_bytes + b_elems\n"
+            )
+        },
+    )
+    assert main(["lint", str(root), "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_payload(payload) == []
+    assert payload["schema"] == SCHEMA_ID
+    assert payload["tool"] == "lint"
+    assert payload["ok"] is False
+    assert any(e["code"] == "R001" for e in payload["diagnostics"])
+
+
+def test_verify_json_matches_shared_schema(
+    capsys: pytest.CaptureFixture[str],
+) -> None:
+    assert main(["verify", "ResNet18", "--glb", "64", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_payload(payload) == []
+    assert payload["schema"] == SCHEMA_ID
+    assert payload["tool"] == "verify"
+    assert payload["ok"] is True
+    assert payload["counts"]["checks"] > 0

@@ -7,6 +7,7 @@ otherwise, so the tier-1 suite stays runnable in minimal environments.
 
 from __future__ import annotations
 
+import os
 import shutil
 import subprocess
 import sys
@@ -37,6 +38,19 @@ def test_mypy_strict_clean() -> None:
 
 def test_py_typed_marker_present() -> None:
     assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+
+
+def test_repro_lint_strict_clean() -> None:
+    """The domain lint (R0xx rules) passes in strict mode, as CI runs it."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src/repro", "--strict"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+    )
+    assert proc.returncode == 0, f"repro lint findings:\n{proc.stdout}\n{proc.stderr}"
 
 
 def test_no_unused_imports() -> None:
