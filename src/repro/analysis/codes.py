@@ -19,6 +19,10 @@ Catalog overview
 * ``R020``–``R023`` — the **registry-consistency** pack: cross-file
   invariants (diagnostic catalogs, the policy registry, the experiment
   artifact registry) that no per-file linter can see.
+* ``R030``–``R031`` — the **observability** pack: the telemetry
+  subsystem (:mod:`repro.obs`) has its own usage contract — spans only
+  record on ``__exit__`` and metric names declare their unit by suffix —
+  that silent misuse would erode without a check.
 """
 
 from __future__ import annotations
@@ -40,6 +44,8 @@ RULE_TITLES: dict[str, str] = {
     "R021": "policy class not registered",
     "R022": "experiment artifact registry inconsistent",
     "R023": "unknown diagnostic code referenced",
+    "R030": "tracer span opened without context manager",
+    "R031": "metric name missing unit suffix",
 }
 
 #: code → full description (the invariant that must hold).
@@ -134,9 +140,22 @@ RULE_DESCRIPTIONS: dict[str, str] = {
         "diagnostic code (``V0xx``/``R0xx``) that is absent from its "
         "catalog — stale codes in docs or checks are dead identifiers."
     ),
+    "R030": (
+        "Tracer spans (``tracer.start(...)``) must be opened with a "
+        "``with`` statement: a span only records itself on ``__exit__``, "
+        "so a bare ``.start()`` call silently produces no "
+        "``SpanRecord`` and corrupts span nesting depth."
+    ),
+    "R031": (
+        "Metric names passed to ``counter``/``gauge``/``histogram`` "
+        "must carry a unit suffix (``_bytes``, ``_elems``, ``_cycles``, "
+        "``_count``, ``_ns``, ``_seconds``, …) so that merged metric "
+        "snapshots stay unit-unambiguous across subsystems."
+    ),
 }
 
-#: code → rule pack ("engine", "units", "determinism", "registry").
+#: code → rule pack ("engine", "units", "determinism", "registry",
+#: "observability").
 RULE_PACKS: dict[str, str] = {
     "R000": "engine",
     "R001": "units",
@@ -153,6 +172,8 @@ RULE_PACKS: dict[str, str] = {
     "R021": "registry",
     "R022": "registry",
     "R023": "registry",
+    "R030": "observability",
+    "R031": "observability",
 }
 
 #: Codes reported as warnings (hazards) rather than errors (defects).

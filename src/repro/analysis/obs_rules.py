@@ -1,0 +1,128 @@
+"""Observability rule pack (``R030``–``R031``).
+
+The telemetry subsystem (:mod:`repro.obs`) has a usage contract the
+runtime cannot enforce:
+
+* A :class:`~repro.obs.tracer.Span` records itself (and balances its
+  tracer's nesting depth) only on ``__exit__`` — so every
+  ``tracer.start(...)`` call must be the context expression of a
+  ``with`` statement.  A bare call "works" (no exception) but silently
+  drops the span and skews the depth of every later span on that
+  thread.  ``R030`` makes the convention checkable.
+* Merged metric snapshots cross process and subsystem boundaries, so a
+  metric's unit must travel in its *name* — the
+  :data:`repro.obs.metrics.UNIT_SUFFIXES` convention
+  (``plan_cache_hits_count``, ``dram_reads_bytes``,
+  ``plan_cached_seconds``).  The registry raises ``ValueError`` for
+  unsuffixed names at runtime, but only on the traced path; ``R031``
+  flags them at review time, on every path.
+
+Both rules are name-heuristic (receivers matching ``tracer`` /
+``metric``/``registry``), matching the repo's accessor convention
+(``get_tracer()``, ``metrics_registry()``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..obs.metrics import UNIT_SUFFIXES, has_unit_suffix
+from .findings import Finding
+from .rules import SourceFile, rule
+
+#: Receiver names that identify a tracer object (R030).
+_TRACER_RECEIVER = re.compile(r"tracer", re.IGNORECASE)
+
+#: Methods on a tracer that open a span (R030).
+_SPAN_METHODS = frozenset({"start", "span"})
+
+#: Receiver names that identify a metrics registry (R031).
+_METRICS_RECEIVER = re.compile(r"metric|registry", re.IGNORECASE)
+
+#: Registry methods that create/fetch a named instrument (R031).
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """The identifier an expression terminates in (``a.b.c()`` → ``c``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    return None
+
+
+def _span_label(node: ast.Call) -> str:
+    """Readable label for a span-opening call, for messages."""
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return f"span '{value}'"
+    text = ast.unparse(node)
+    return text if len(text) <= 40 else text[:37] + "..."
+
+
+def _with_context_exprs(tree: ast.Module) -> set[int]:
+    """Ids of every expression used directly as a ``with`` item."""
+    contexts: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                contexts.add(id(item.context_expr))
+    return contexts
+
+
+@rule("R030")
+def check_span_context_manager(file: SourceFile) -> Iterator[Finding]:
+    """Every ``tracer.start(...)`` call is a ``with`` context expression."""
+    contexts = _with_context_exprs(file.tree)
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _SPAN_METHODS:
+            continue
+        receiver = _terminal_name(func.value)
+        if receiver is None or not _TRACER_RECEIVER.search(receiver):
+            continue
+        if id(node) in contexts:
+            continue
+        yield file.finding(
+            "R030",
+            node,
+            f"{_span_label(node)} opened outside a 'with' statement; spans "
+            f"record only on __exit__, so this span is silently dropped "
+            f"and the tracer's nesting depth is corrupted",
+        )
+
+
+@rule("R031")
+def check_metric_unit_suffix(file: SourceFile) -> Iterator[Finding]:
+    """Literal metric names carry a ``UNIT_SUFFIXES`` unit suffix."""
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _METRIC_METHODS:
+            continue
+        receiver = _terminal_name(func.value)
+        if receiver is None or not _METRICS_RECEIVER.search(receiver):
+            continue
+        if not node.args:
+            continue
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            continue
+        if has_unit_suffix(first.value):
+            continue
+        yield file.finding(
+            "R031",
+            node,
+            f"metric name '{first.value}' lacks a unit suffix; merged "
+            f"snapshots need the unit in the name — end it with one of "
+            f"{', '.join(UNIT_SUFFIXES)}",
+        )

@@ -162,7 +162,9 @@ def rule(code: str, scope: str = "file") -> Callable[[Checker], Checker]:
 
 def all_rules() -> RuleRegistry:
     """Import the rule packs and return the populated registry."""
-    from . import determinism_rules, registry_rules, unit_rules
+    from . import determinism_rules, obs_rules, registry_rules, unit_rules
 
-    assert determinism_rules and registry_rules and unit_rules  # imported to register
+    assert (
+        determinism_rules and obs_rules and registry_rules and unit_rules
+    )  # imported to register
     return REGISTRY

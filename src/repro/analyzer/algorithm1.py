@@ -5,16 +5,45 @@ memory estimate fits the GLB, and selects the one with minimum accesses,
 tie-broken on latency.  The latency-objective variant (used for ``Hom_l`` /
 ``Het_l`` in §5.2) swaps the comparison order.  Both are expressed by the
 lexicographic :meth:`~repro.analyzer.objectives.Objective.key`.
+
+When the caller passes an ``audit`` list, the selection also records one
+:class:`~repro.obs.audit.CandidateRecord` per feasible candidate — the
+winner with its metrics, every loser with the concrete reason it lost
+(how much more traffic / how many more cycles than the winner).  The
+recording is pure bookkeeping over already-computed values and never
+changes which candidate wins.
 """
 
 from __future__ import annotations
 
 from ..estimators.evaluate import PolicyEvaluation
+from ..obs.audit import CandidateRecord
 from .objectives import Objective
 
 
+def _reject_reason(
+    evaluation: PolicyEvaluation, winner: PolicyEvaluation, objective: Objective
+) -> str:
+    """Why ``evaluation`` lost to ``winner`` under ``objective``."""
+    extra_bytes = evaluation.accesses_bytes - winner.accesses_bytes
+    extra_cycles = evaluation.latency_cycles - winner.latency_cycles
+    if objective is Objective.ACCESSES:
+        if extra_bytes > 0:
+            return f"{extra_bytes} B more off-chip traffic than {winner.label}"
+        if extra_cycles > 0:
+            return f"same traffic as {winner.label}, {extra_cycles:.0f} cycles slower"
+    else:
+        if extra_cycles > 0:
+            return f"{extra_cycles:.0f} cycles slower than {winner.label}"
+        if extra_bytes > 0:
+            return f"same latency as {winner.label}, {extra_bytes} B more traffic"
+    return f"ties with {winner.label}; earlier-listed candidate kept"
+
+
 def select_policy(
-    evaluations: list[PolicyEvaluation], objective: Objective
+    evaluations: list[PolicyEvaluation],
+    objective: Objective,
+    audit: list[CandidateRecord] | None = None,
 ) -> PolicyEvaluation:
     """Algorithm 1 lines 6–19 for one layer.
 
@@ -22,10 +51,36 @@ def select_policy(
     of line 10 happens during evaluation).  Raises if the layer has no
     feasible policy at all — Algorithm 1's fallback tile search should have
     produced one before this point.
+
+    ``audit``, when given, receives one record per candidate with the
+    accept/reject reason; it does not affect the selection.
     """
     if not evaluations:
         raise ValueError("no feasible policy for layer; tile search failed")
-    return min(
+    winner = min(
         evaluations,
         key=lambda ev: objective.key(ev.accesses_bytes, ev.latency_cycles),
     )
+    if audit is not None:
+        for ev in evaluations:
+            chosen = ev is winner
+            if chosen:
+                reason = (
+                    f"best {objective.value} of {len(evaluations)} feasible candidates"
+                )
+            else:
+                reason = _reject_reason(ev, winner, objective)
+            audit.append(
+                CandidateRecord(
+                    label=ev.label,
+                    policy=ev.policy_name,
+                    prefetch=ev.prefetch,
+                    feasible=True,
+                    chosen=chosen,
+                    reason=reason,
+                    memory_bytes=ev.memory_bytes,
+                    accesses_bytes=ev.accesses_bytes,
+                    latency_cycles=ev.latency_cycles,
+                )
+            )
+    return winner

@@ -8,7 +8,7 @@ the quantities plotted in Figs. 5–11.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..arch.spec import AcceleratorSpec
@@ -16,6 +16,7 @@ from ..estimators.evaluate import PolicyEvaluation
 from ..estimators.latency import schedule_latency
 from ..nn.layer import LayerSpec
 from ..nn.model import Model
+from ..obs.audit import CandidateRecord, DecisionTrail, LayerDecision
 from ..policies.base import LayerSchedule, StepGroup
 from .objectives import Objective
 
@@ -143,6 +144,10 @@ class ExecutionPlan:
     objective: Objective
     scheme: str  #: e.g. "het", "hom(p1)", "het+interlayer"
     assignments: tuple[LayerAssignment, ...]
+    #: Decision audit trail recorded while planning (None for plans built
+    #: outside the planners, e.g. hand-assembled in tests).  Excluded from
+    #: equality/repr so audited and unaudited plans compare identically.
+    audit: DecisionTrail | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(self.assignments) != len(self.model.layers):
@@ -153,6 +158,45 @@ class ExecutionPlan:
 
     def __iter__(self) -> Iterator[LayerAssignment]:
         return iter(self.assignments)
+
+    def explain(self) -> DecisionTrail:
+        """The decision audit trail behind this plan.
+
+        Planner-built plans carry the full trail (every candidate per
+        layer with its accept/reject reason).  For plans without one —
+        hand-assembled or deserialized from an older cache — a minimal
+        trail is synthesized from the assignments: one chosen record per
+        layer, no rejected candidates.
+        """
+        if self.audit is not None:
+            return self.audit
+        layers = tuple(
+            LayerDecision(
+                index=a.index,
+                layer=a.layer.name,
+                candidates=(
+                    CandidateRecord(
+                        label=a.label,
+                        policy=a.policy_name,
+                        prefetch=a.prefetch,
+                        feasible=True,
+                        chosen=True,
+                        reason="reconstructed from assignment (no audit recorded)",
+                        memory_bytes=a.memory_bytes,
+                        accesses_bytes=a.accesses_bytes,
+                        latency_cycles=a.latency_cycles,
+                    ),
+                ),
+            )
+            for a in self.assignments
+        )
+        return DecisionTrail(
+            scheme=self.scheme,
+            objective=self.objective.value,
+            glb_bytes=self.spec.glb_bytes,
+            layers=layers,
+            notes=("synthesized: plan carried no recorded audit trail",),
+        )
 
     # Aggregate metrics ------------------------------------------------
 

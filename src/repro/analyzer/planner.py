@@ -17,19 +17,27 @@ Every planner accepts ``verify=True`` (a debug mode): the emitted plan is
 statically checked against the :mod:`repro.verify` invariant catalog and a
 :class:`~repro.verify.PlanVerificationError` is raised if any invariant is
 violated — turning planner bugs into hard failures at the source.
+
+Telemetry: planning runs inside tracer spans (one per plan, one per layer
+for ``Het``) and every plan carries a :class:`~repro.obs.audit.DecisionTrail`
+recording each candidate policy with its capacity check and accept/reject
+reason — surfaced by ``repro explain`` and ``ExecutionPlan.explain()``.
+Both are pure bookkeeping: plans are bit-identical with tracing on or off.
 """
 
 from __future__ import annotations
 
 from ..arch.spec import AcceleratorSpec
-from ..estimators.evaluate import PolicyEvaluation, evaluate_layer
+from ..estimators.evaluate import PolicyAttempt, PolicyEvaluation, evaluate_layer
 from ..nn.model import Model
+from ..obs import get_tracer, metrics_registry
+from ..obs.audit import CandidateRecord, TrailBuilder
 from ..policies.base import Policy
 from ..policies.registry import NAMED_POLICIES
 from .algorithm1 import select_policy
 from .interlayer import apply_opportunistic_interlayer, plan_chain_with_interlayer
 from .objectives import Objective
-from .plan import ExecutionPlan, make_assignment
+from .plan import ExecutionPlan, LayerAssignment, make_assignment
 
 
 def candidate_evaluations(
@@ -62,6 +70,60 @@ def _maybe_verify(plan: ExecutionPlan, verify: bool) -> ExecutionPlan:
     return plan
 
 
+def _infeasible_record(attempt: PolicyAttempt) -> CandidateRecord:
+    """Audit record for a (policy, prefetch) try that fit no tiling."""
+    reason = (
+        "no tiling fits the GLB with double buffering (Eq. (2))"
+        if attempt.prefetch
+        else "no tiling fits the GLB budget (Eq. (1))"
+    )
+    return CandidateRecord(
+        label=attempt.label,
+        policy=attempt.policy_name,
+        prefetch=attempt.prefetch,
+        feasible=False,
+        chosen=False,
+        reason=reason,
+    )
+
+
+def _candidate_records(
+    attempts: list[PolicyAttempt], selected: list[CandidateRecord]
+) -> list[CandidateRecord]:
+    """Merge infeasible attempts with Algorithm 1's records, in try order."""
+    by_label = {record.label: record for record in selected}
+    records: list[CandidateRecord] = []
+    for attempt in attempts:
+        if attempt.feasible:
+            record = by_label.get(attempt.label)
+            if record is not None:
+                records.append(record)
+        else:
+            records.append(_infeasible_record(attempt))
+    return records
+
+
+def _reconcile_chosen(
+    trail: TrailBuilder, assignments: list[LayerAssignment]
+) -> None:
+    """Point each layer's chosen flag at the *final* assignment.
+
+    The inter-layer DP may override Algorithm 1's per-layer pick; the
+    trail keeps the original winner with an override reason.
+    """
+    chosen_by_index = {
+        decision.index: decision.chosen for decision in trail.layers
+    }
+    for assignment in assignments:
+        chosen = chosen_by_index.get(assignment.index)
+        if chosen is None or chosen.label != assignment.label:
+            trail.rechoose(
+                assignment.index,
+                assignment.label,
+                "selected by inter-layer DP (co-optimized with ofmap donations)",
+            )
+
+
 def plan_heterogeneous(
     model: Model,
     spec: AcceleratorSpec,
@@ -79,27 +141,72 @@ def plan_heterogeneous(
     ``"opportunistic"`` pass (policies first, donations where they fit) or
     our ``"joint"`` DP extension that co-optimizes both decisions.
     """
-    candidates = candidate_evaluations(model, spec, allow_prefetch=allow_prefetch)
-    empty = [model.layers[i].name for i, c in enumerate(candidates) if not c]
-    if empty:
-        raise ValueError(
-            f"{model.name}: no feasible policy for layers {empty} at "
-            f"GLB={spec.glb_bytes} bytes"
+    tracer = get_tracer()
+    trail = TrailBuilder(
+        scheme="het", objective=objective.value, glb_bytes=spec.glb_bytes
+    )
+    with tracer.start(
+        "plan_heterogeneous",
+        model=model.name,
+        glb_bytes=spec.glb_bytes,
+        objective=objective.value,
+    ) as plan_span:
+        candidates: list[list[PolicyEvaluation]] = []
+        attempts_per_layer: list[list[PolicyAttempt]] = []
+        for layer in model.layers:
+            attempts: list[PolicyAttempt] = []
+            with tracer.start("plan_layer", layer=layer.name) as layer_span:
+                evaluations = evaluate_layer(
+                    layer,
+                    spec,
+                    allow_prefetch=allow_prefetch,
+                    always_fallback=True,
+                    attempts=attempts,
+                )
+                layer_span.set_attr("candidates_count", len(evaluations))
+            candidates.append(evaluations)
+            attempts_per_layer.append(attempts)
+        empty = [model.layers[i].name for i, c in enumerate(candidates) if not c]
+        if empty:
+            raise ValueError(
+                f"{model.name}: no feasible policy for layers {empty} at "
+                f"GLB={spec.glb_bytes} bytes"
+            )
+        assignments = []
+        for i, evaluations in enumerate(candidates):
+            selected: list[CandidateRecord] = []
+            choice = select_policy(evaluations, objective, audit=selected)
+            trail.add_layer(
+                i,
+                model.layers[i].name,
+                _candidate_records(attempts_per_layer[i], selected),
+            )
+            assignments.append(make_assignment(i, choice, spec))
+        scheme = "het"
+        if interlayer:
+            if interlayer_mode == "opportunistic":
+                assignments = apply_opportunistic_interlayer(model, spec, assignments)
+                scheme = "het+il"
+            elif interlayer_mode == "joint":
+                assignments = plan_chain_with_interlayer(
+                    model, spec, objective, candidates
+                )
+                scheme = "het+il(joint)"
+            else:
+                raise ValueError(f"unknown interlayer_mode {interlayer_mode!r}")
+            _reconcile_chosen(trail, assignments)
+            donated = sum(1 for a in assignments if a.donates)
+            trail.note(
+                f"inter-layer pass ({interlayer_mode}): "
+                f"{donated} ofmap donation(s) applied"
+            )
+        trail.scheme = scheme
+        plan_span.set_attr("scheme", scheme)
+        registry = metrics_registry()
+        registry.counter("planner_layers_count").add(len(model.layers))
+        registry.counter("planner_candidates_count").add(
+            sum(len(c) for c in candidates)
         )
-    assignments = [
-        make_assignment(i, select_policy(evs, objective), spec)
-        for i, evs in enumerate(candidates)
-    ]
-    scheme = "het"
-    if interlayer:
-        if interlayer_mode == "opportunistic":
-            assignments = apply_opportunistic_interlayer(model, spec, assignments)
-            scheme = "het+il"
-        elif interlayer_mode == "joint":
-            assignments = plan_chain_with_interlayer(model, spec, objective, candidates)
-            scheme = "het+il(joint)"
-        else:
-            raise ValueError(f"unknown interlayer_mode {interlayer_mode!r}")
     return _maybe_verify(
         ExecutionPlan(
             model=model,
@@ -107,6 +214,7 @@ def plan_heterogeneous(
             objective=objective,
             scheme=scheme,
             assignments=tuple(assignments),
+            audit=trail.build(),
         ),
         verify,
     )
@@ -131,25 +239,38 @@ def plan_homogeneous(
     family_policies = tuple(p for p in NAMED_POLICIES if p.name == family)
     if not family_policies:
         raise KeyError(f"unknown policy family {family!r}")
+    scheme = f"hom({family})"
+    trail = TrailBuilder(
+        scheme=scheme, objective=objective.value, glb_bytes=spec.glb_bytes
+    )
     assignments = []
-    for i, layer in enumerate(model.layers):
-        evs = evaluate_layer(
-            layer,
-            spec,
-            policies=family_policies,
-            use_fallback=True,
-            allow_prefetch=allow_prefetch,
-        )
-        if not evs:
-            return None
-        assignments.append(make_assignment(i, select_policy(evs, objective), spec))
+    with get_tracer().start("plan_homogeneous", model=model.name, family=family):
+        for i, layer in enumerate(model.layers):
+            attempts: list[PolicyAttempt] = []
+            evaluations = evaluate_layer(
+                layer,
+                spec,
+                policies=family_policies,
+                use_fallback=True,
+                allow_prefetch=allow_prefetch,
+                attempts=attempts,
+            )
+            if not evaluations:
+                return None
+            selected: list[CandidateRecord] = []
+            choice = select_policy(evaluations, objective, audit=selected)
+            trail.add_layer(
+                i, layer.name, _candidate_records(attempts, selected)
+            )
+            assignments.append(make_assignment(i, choice, spec))
     return _maybe_verify(
         ExecutionPlan(
             model=model,
             spec=spec,
             objective=objective,
-            scheme=f"hom({family})",
+            scheme=scheme,
             assignments=tuple(assignments),
+            audit=trail.build(),
         ),
         verify,
     )

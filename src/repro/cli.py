@@ -512,6 +512,87 @@ def cmd_dram(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Render the planner's decision audit trail as a per-layer table.
+
+    Model lookup is case-insensitive over the full zoo (so
+    ``repro explain resnet18`` works); a JSON model path is accepted too.
+    Unknown models exit with code 2 and list the available ids, mirroring
+    the ``UnknownArtifactError`` convention of the experiments CLI.
+    """
+    import json
+
+    from .nn.zoo import ALL_MODEL_NAMES
+
+    canonical = {name.lower(): name for name in ALL_MODEL_NAMES}.get(
+        args.model.lower()
+    )
+    if canonical is not None:
+        model = get_model(canonical)
+    elif Path(args.model).exists():
+        model = load_model(Path(args.model))
+    else:
+        print(
+            f"error: unknown model {args.model!r}\n"
+            f"available models: {', '.join(ALL_MODEL_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+    spec = _spec_from_args(args)
+    plan = MemoryManager(spec).plan(
+        model,
+        Objective(args.objective),
+        scheme=args.scheme,
+        interlayer=args.interlayer,
+    )
+    trail = plan.explain()
+    if args.format == "json":
+        print(json.dumps(trail.to_payload(), indent=2))
+        return 0
+    table = Table(
+        title=(
+            f"{model.name} @ {args.glb} kB — {trail.scheme} decision audit "
+            f"(objective={trail.objective})"
+        ),
+        headers=["Layer", "Candidate", "Status", "Mem kB", "Acc kB", "Reason"],
+    )
+    shown = 0
+    for decision in trail.layers:
+        if args.layer and decision.layer != args.layer:
+            continue
+        shown += 1
+        for candidate in decision.candidates:
+            table.add_row(
+                decision.layer,
+                ("* " if candidate.chosen else "  ") + candidate.label,
+                candidate.status,
+                "-"
+                if candidate.memory_bytes is None
+                else round(to_kib(candidate.memory_bytes), 1),
+                "-"
+                if candidate.accesses_bytes is None
+                else round(to_kib(candidate.accesses_bytes), 1),
+                candidate.reason,
+            )
+    if args.layer and not shown:
+        print(
+            f"error: {model.name} has no layer {args.layer!r} "
+            f"(see `repro inspect {model.name}`)",
+            file=sys.stderr,
+        )
+        return 2
+    print(table.render())
+    for note in trail.notes:
+        print(f"note: {note}")
+    chosen = [d.chosen.label for d in trail.layers if d.chosen is not None]
+    print(
+        f"\n{len(trail.layers)} layers, "
+        f"{sum(len(d.candidates) for d in trail.layers)} candidates considered, "
+        f"policies chosen: {', '.join(sorted(set(chosen)))}"
+    )
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     """Forward to the experiments runner (engine-backed).
 
@@ -531,6 +612,10 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         forwarded = ["--no-cache", *forwarded]
     if args.clear_cache:
         forwarded = ["--clear-cache", *forwarded]
+    if args.trace_out:
+        forwarded = ["--trace-out", args.trace_out, *forwarded]
+    if args.metrics:
+        forwarded = ["--metrics", *forwarded]
     return experiments_main(forwarded)
 
 
@@ -554,6 +639,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--interlayer", action="store_true", help="enable inter-layer reuse")
     p.add_argument("--export", metavar="FILE", help="write the plan JSON here")
     p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser(
+        "explain", help="why each layer got its policy (decision audit trail)"
+    )
+    p.add_argument("model", help="zoo model (case-insensitive) or JSON path")
+    _add_spec_args(p)
+    p.add_argument("--objective", choices=["accesses", "latency"], default="accesses")
+    p.add_argument("--scheme", default="het", help='het, hom or "hom(<family>)"')
+    p.add_argument("--interlayer", action="store_true", help="enable inter-layer reuse")
+    p.add_argument("--layer", metavar="NAME", help="show only this layer")
+    p.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format (json emits the full audit payload)",
+    )
+    p.set_defaults(func=cmd_explain)
 
     p = sub.add_parser("evaluate", help="all policy candidates for one layer")
     p.add_argument("model")
@@ -687,6 +789,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--clear-cache", action="store_true",
         help="delete the persistent plan cache and exit",
+    )
+    p.add_argument(
+        "--trace-out", metavar="FILE",
+        help="enable tracing and write a Perfetto-loadable Chrome trace",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the run's merged metric counters",
     )
     p.set_defaults(func=cmd_experiments)
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs import get_tracer, metrics_registry
 from .mapping import AddressLayout, MappingPolicy, Region
 from .spec import DramSpec
 
@@ -128,6 +129,28 @@ def simulate_accesses(
     mapping: MappingPolicy,
 ) -> DramStats:
     """Replay an access stream through the row-buffer state machine."""
+    with get_tracer().start(
+        "dram_stream", mapping=mapping.name, requests_count=len(accesses)
+    ) as span:
+        stats = _simulate_accesses(accesses, regions, spec, mapping)
+        span.set_attr("row_hits_count", stats.row_hits)
+        span.set_attr("row_misses_count", stats.row_misses)
+        span.set_attr("total_bytes", stats.total_bytes)
+    registry = metrics_registry()
+    registry.counter("dram_row_hits_count").add(stats.row_hits)
+    registry.counter("dram_row_misses_count").add(stats.row_misses)
+    registry.counter("dram_activations_count").add(stats.activations)
+    registry.counter("dram_reads_bytes").add(stats.reads_bytes)
+    registry.counter("dram_writes_bytes").add(stats.writes_bytes)
+    return stats
+
+
+def _simulate_accesses(
+    accesses: list[DramAccess] | tuple[DramAccess, ...],
+    regions: tuple[Region, ...],
+    spec: DramSpec,
+    mapping: MappingPolicy,
+) -> DramStats:
     layout: AddressLayout = mapping.layout(spec, regions)
     row_bytes = spec.row_bytes
     burst_bytes = spec.burst_bytes

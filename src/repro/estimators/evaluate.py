@@ -19,6 +19,26 @@ from .latency import LatencyBreakdown, schedule_latency
 
 
 @dataclass(frozen=True)
+class PolicyAttempt:
+    """One (policy, prefetch) instantiation *try*, feasible or not.
+
+    ``evaluate_layer`` optionally records every attempt — including those
+    where no tiling fit the GLB budget — so the planner's decision audit
+    trail (:mod:`repro.obs.audit`) can explain infeasible candidates, not
+    just the feasible ones it compared.
+    """
+
+    policy_name: str
+    prefetch: bool
+    feasible: bool
+    fallback: bool = False
+
+    @property
+    def label(self) -> str:
+        return self.policy_name + ("+p" if self.prefetch else "")
+
+
+@dataclass(frozen=True)
 class PolicyEvaluation:
     """One feasible (layer, policy, prefetch) instantiation with estimates."""
 
@@ -84,6 +104,7 @@ def evaluate_layer(
     use_fallback: bool = True,
     allow_prefetch: bool = True,
     always_fallback: bool = False,
+    attempts: list[PolicyAttempt] | None = None,
 ) -> list[PolicyEvaluation]:
     """All feasible policy instantiations of one layer within the GLB.
 
@@ -91,6 +112,10 @@ def evaluate_layer(
     policies instead of only rescuing infeasible layers; the heterogeneous
     planner uses this so that ``Het`` dominates every ``Hom`` scheme (whose
     infeasible layers fall back to the same search).
+
+    When ``attempts`` is given, every instantiation try is appended to it
+    as a :class:`PolicyAttempt` (feasible or not) for the decision audit
+    trail; passing it changes no result.
 
     Returns an empty list only when even the tile-search fallback cannot
     fit, which for sane GLB sizes does not happen (the fallback's smallest
@@ -102,11 +127,19 @@ def evaluate_layer(
     for policy in policies:
         for prefetch in prefetch_options:
             plan = policy.plan(layer, budget, prefetch)
+            if attempts is not None:
+                attempts.append(PolicyAttempt(policy.name, prefetch, plan is not None))
             if plan is not None:
                 evaluations.append(_evaluate_plan(plan, spec))
     if use_fallback and (always_fallback or not evaluations):
         for prefetch in prefetch_options:
             plan = FALLBACK_POLICY.plan(layer, budget, prefetch)
+            if attempts is not None:
+                attempts.append(
+                    PolicyAttempt(
+                        FALLBACK_POLICY.name, prefetch, plan is not None, fallback=True
+                    )
+                )
             if plan is not None:
                 evaluations.append(_evaluate_plan(plan, spec))
     return evaluations

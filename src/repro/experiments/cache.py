@@ -50,11 +50,14 @@ from typing import Any, Callable, TypeVar
 
 from ..arch.spec import AcceleratorSpec
 from ..nn.model import Model
+from ..obs import metrics_registry
 
 T = TypeVar("T")
 
 #: Bump when planner/estimator changes may alter cached results.
-CACHE_SCHEMA_VERSION = 1
+#: v2: ExecutionPlan gained the ``audit`` decision-trail field (pickle
+#: shape change), so v1 entries must never be loaded into v2 code.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the cache directory.
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -237,6 +240,7 @@ def store(key: str, value: Any) -> None:
             pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
         stats.stores += 1
+        metrics_registry().counter("plan_cache_stores_count").add(1)
     except OSError:
         try:
             os.unlink(tmp)
@@ -249,8 +253,10 @@ def fetch(key: str, compute: Callable[[], T]) -> T:
     cached = load(key)
     if cached is not _SENTINEL:
         stats.hits += 1
+        metrics_registry().counter("plan_cache_hits_count").add(1)
         return cached  # type: ignore[no-any-return]
     stats.misses += 1
+    metrics_registry().counter("plan_cache_misses_count").add(1)
     value = compute()
     store(key, value)
     return value

@@ -27,7 +27,6 @@ counts surface in the runner summary and can be exported as
 from __future__ import annotations
 
 import json
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,6 +34,16 @@ from typing import Any, Callable, Sequence
 
 from ..analyzer import Objective
 from ..arch.spec import PAPER_DATA_WIDTHS
+from ..obs import (
+    SpanRecord,
+    Snapshot,
+    clock,
+    configure_worker,
+    diff_snapshots,
+    export,
+    get_tracer,
+    metrics_registry,
+)
 from ..report.table import Table
 from . import cache
 
@@ -153,34 +162,61 @@ def plan_tasks(names: Sequence[str]) -> list[PlanTask]:
 # ----------------------------------------------------------------------
 
 
-def _warm_worker(task: PlanTask) -> dict[str, int]:
+def _telemetry_delta(metrics_before: Snapshot) -> dict[str, Any]:
+    """Spans recorded and metrics accumulated since ``metrics_before``.
+
+    Draining the tracer moves the spans into the return value (the engine
+    re-ingests them into its report), so repeated calls never duplicate.
+    """
+    return {
+        "spans": get_tracer().drain(),
+        "metrics": diff_snapshots(metrics_before, metrics_registry().snapshot()),
+    }
+
+
+def _warm_worker(task: PlanTask) -> dict[str, Any]:
     """Compute one grid cell into the shared on-disk cache."""
     from . import common
 
     before = cache.stats.snapshot()
+    metrics_before = metrics_registry().snapshot()
     kind, model, glb_kb, objective, width, prefetch, interlayer, mode = task
-    if kind == "baseline":
-        common.baseline_results(model, glb_kb, width)
-    elif kind == "hom":
-        common.hom_plan(model, glb_kb, Objective(objective), width, prefetch)
-    else:
-        common.het_plan(
-            model, glb_kb, Objective(objective), width, prefetch, interlayer, mode
-        )
+    metrics_registry().counter("cache_prewarm_tasks_count").add(1)
+    with get_tracer().start("prewarm_task", kind=kind, model=model, glb_kb=glb_kb):
+        if kind == "baseline":
+            common.baseline_results(model, glb_kb, width)
+        elif kind == "hom":
+            common.hom_plan(model, glb_kb, Objective(objective), width, prefetch)
+        else:
+            common.het_plan(
+                model, glb_kb, Objective(objective), width, prefetch, interlayer, mode
+            )
     after = cache.stats.snapshot()
-    return {k: after[k] - before[k] for k in after}
+    return {
+        "cache": {k: after[k] - before[k] for k in after},
+        **_telemetry_delta(metrics_before),
+    }
 
 
-def _artifact_worker(name: str) -> tuple[Table, float, dict[str, int]]:
-    """Run one artifact, returning its table, wall time and cache deltas."""
+def _artifact_worker(
+    name: str,
+) -> tuple[Table, float, dict[str, int], dict[str, Any]]:
+    """Run one artifact: its table, wall time, cache deltas and telemetry."""
     from .runner import ARTIFACTS
 
     before = cache.stats.snapshot()
-    start = time.perf_counter()
-    table = ARTIFACTS[name]()
-    seconds = time.perf_counter() - start
+    metrics_before = metrics_registry().snapshot()
+    start_ns = clock.monotonic_ns()
+    with get_tracer().start("artifact", name=name):
+        table = ARTIFACTS[name]()
+    seconds = clock.elapsed_seconds(start_ns)
     after = cache.stats.snapshot()
-    return table, seconds, {k: after[k] - before[k] for k in after}
+    return (
+        table,
+        seconds,
+        {k: after[k] - before[k] for k in after},
+        _telemetry_delta(metrics_before),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +248,10 @@ class EngineReport:
     prewarm_stats: dict[str, int] = field(
         default_factory=lambda: {"hits": 0, "misses": 0, "stores": 0}
     )
+    #: Spans collected across the run (workers' merged with the parent's).
+    spans: tuple[SpanRecord, ...] = ()
+    #: Merged metrics delta of the run (counters add across workers).
+    metrics: Snapshot = field(default_factory=dict)
 
     @property
     def tables(self) -> list[Table]:
@@ -278,16 +318,80 @@ class EngineReport:
         """Write the perf record as JSON."""
         Path(path).write_text(json.dumps(self.bench_record(), indent=2) + "\n")
 
+    def telemetry_payload(self) -> dict[str, object]:
+        """The run as a ``repro-telemetry/1`` payload (``--trace-out``)."""
+        return export.telemetry_payload(
+            self.spans,
+            self.metrics,
+            meta={
+                "tool": "repro-experiments",
+                "jobs": str(self.jobs),
+                "artifacts": ",".join(r.name for r in self.results),
+            },
+        )
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Export the run's telemetry as Perfetto-loadable JSON."""
+        return export.write_trace(path, self.telemetry_payload())
+
+    def metrics_table(self) -> Table:
+        """The run's merged metric counters/gauges/histograms as a table."""
+        table = Table(
+            title="Run metrics", headers=["Metric", "Kind", "Value"]
+        )
+        counters = self.metrics.get("counters", {})
+        gauges = self.metrics.get("gauges", {})
+        histograms = self.metrics.get("histograms", {})
+        for name, value in sorted(counters.items()):
+            assert isinstance(value, float)
+            table.add_row(name, "counter", int(value) if value.is_integer() else value)
+        for name, value in sorted(gauges.items()):
+            table.add_row(name, "gauge", value)
+        for name, summary in sorted(histograms.items()):
+            assert isinstance(summary, dict)
+            table.add_row(
+                name,
+                "histogram",
+                f"n={summary['count']:.0f} sum={summary['sum']:.4g} "
+                f"min={summary['min']:.4g} max={summary['max']:.4g}",
+            )
+        return table
+
 
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
 
 
-def _run_serial(names: Sequence[str]) -> list[ArtifactResult]:
+@dataclass
+class _TelemetrySink:
+    """Accumulates worker span batches and metric deltas during a run."""
+
+    spans: list[SpanRecord] = field(default_factory=list)
+    metrics: Any = None  # lazily created MetricsRegistry
+
+    def absorb(self, delta: dict[str, Any]) -> None:
+        from ..obs import MetricsRegistry
+
+        self.spans.extend(delta.get("spans", ()))
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+        self.metrics.merge(delta.get("metrics", {}))
+
+    def snapshot(self) -> Snapshot:
+        if self.metrics is None:
+            return {"counters": {}, "gauges": {}, "histograms": {}}
+        snapshot: Snapshot = self.metrics.snapshot()
+        return snapshot
+
+
+def _run_serial(
+    names: Sequence[str], sink: _TelemetrySink
+) -> list[ArtifactResult]:
     results = []
     for name in names:
-        table, seconds, delta = _artifact_worker(name)
+        table, seconds, delta, telemetry = _artifact_worker(name)
+        sink.absorb(telemetry)
         results.append(
             ArtifactResult(
                 name=name,
@@ -302,22 +406,28 @@ def _run_serial(names: Sequence[str]) -> list[ArtifactResult]:
 
 
 def _run_parallel(
-    names: Sequence[str], jobs: int, prewarm: bool
+    names: Sequence[str], jobs: int, prewarm: bool, sink: _TelemetrySink
 ) -> tuple[list[ArtifactResult], int, float, dict[str, int]]:
     warm_stats = {"hits": 0, "misses": 0, "stores": 0}
     tasks = plan_tasks(names) if prewarm and cache.cache_enabled() else []
     warm_seconds = 0.0
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    # configure_worker gives every pool worker a fresh tracer/metrics state
+    # (forked workers would otherwise inherit — and re-report — the
+    # parent's spans and counter values).
+    with ProcessPoolExecutor(max_workers=jobs, initializer=configure_worker) as pool:
         if tasks:
-            start = time.perf_counter()
-            for delta in pool.map(_warm_worker, tasks):
-                for k in warm_stats:
-                    warm_stats[k] += delta[k]
-            warm_seconds = time.perf_counter() - start
+            start_ns = clock.monotonic_ns()
+            with get_tracer().start("prewarm_grid", tasks_count=len(tasks)):
+                for delta in pool.map(_warm_worker, tasks):
+                    for k in warm_stats:
+                        warm_stats[k] += delta["cache"][k]
+                    sink.absorb(delta)
+            warm_seconds = clock.elapsed_seconds(start_ns)
         futures = [(name, pool.submit(_artifact_worker, name)) for name in names]
         results = []
         for name, future in futures:
-            table, seconds, delta = future.result()
+            table, seconds, delta, telemetry = future.result()
+            sink.absorb(telemetry)
             results.append(
                 ArtifactResult(
                     name=name,
@@ -340,6 +450,10 @@ def run_experiments(
     ``jobs > 1`` fans the plan grid and the artifact list across
     ``jobs`` workers sharing the persistent cache.  Output tables are
     identical either way and are returned in the requested order.
+
+    The returned report carries the run's telemetry — merged worker
+    spans and metric deltas — whether or not tracing is enabled (spans
+    are simply empty under the no-op tracer).
     """
     from .runner import ARTIFACTS
 
@@ -348,22 +462,27 @@ def run_experiments(
         from .runner import UnknownArtifactError
 
         raise UnknownArtifactError(unknown, list(ARTIFACTS))
-    start = time.perf_counter()
+    sink = _TelemetrySink()
+    start_ns = clock.monotonic_ns()
     if jobs <= 1:
-        results = _run_serial(names)
+        results = _run_serial(names, sink)
         report = EngineReport(
-            results=results, jobs=1, total_seconds=time.perf_counter() - start
+            results=results, jobs=1, total_seconds=clock.elapsed_seconds(start_ns)
         )
     else:
         results, n_tasks, warm_seconds, warm_stats = _run_parallel(
-            names, jobs, prewarm
+            names, jobs, prewarm, sink
         )
         report = EngineReport(
             results=results,
             jobs=jobs,
-            total_seconds=time.perf_counter() - start,
+            total_seconds=clock.elapsed_seconds(start_ns),
             prewarm_tasks=n_tasks,
             prewarm_seconds=warm_seconds,
             prewarm_stats=warm_stats,
         )
+    # Parent-side spans (e.g. the prewarm_grid phase) join the worker spans.
+    sink.spans.extend(get_tracer().drain())
+    report.spans = tuple(sink.spans)
+    report.metrics = sink.snapshot()
     return report

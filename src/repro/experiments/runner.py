@@ -135,6 +135,17 @@ def main(argv: list[str] | None = None) -> int:
         help="disable the persistent on-disk plan cache for this run",
     )
     parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="enable tracing and write a Perfetto-loadable Chrome trace "
+        "(repro-telemetry/1 JSON) for the run",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's merged metric counters/gauges/histograms",
+    )
+    parser.add_argument(
         "--clear-cache",
         action="store_true",
         help="delete the persistent plan cache and exit",
@@ -163,6 +174,13 @@ def main(argv: list[str] | None = None) -> int:
             f"available artifacts: {', '.join(ARTIFACTS)}"
         )
 
+    if args.trace_out:
+        # Exported so the engine's worker processes trace too; telemetry
+        # only — results are bit-identical with tracing on or off.
+        from .. import obs
+
+        obs.enable_tracing()
+
     report = run_report(
         csv_dir=args.csv, only=args.artifacts or None, jobs=args.jobs
     )
@@ -170,7 +188,16 @@ def main(argv: list[str] | None = None) -> int:
         print(table.render())
         print()
     print(report.summary_table().render())
+    if args.metrics:
+        print()
+        print(report.metrics_table().render())
     if args.bench:
         report.write_bench(args.bench)
         print(f"\nperf record written to {args.bench}")
+    if args.trace_out:
+        from .. import obs
+
+        path = report.write_trace(args.trace_out)
+        obs.disable_tracing()
+        print(f"\ntrace written to {path} (load in Perfetto or chrome://tracing)")
     return 0

@@ -36,6 +36,7 @@ from .estimators.evaluate import PolicyEvaluation, evaluate_layer
 from .nn.io import load_model
 from .nn.layer import LayerSpec
 from .nn.model import Model
+from .obs import clock, get_tracer, metrics_registry
 from .scalesim.presets import baseline_configs
 from .scalesim.simulator import SimulationResult, simulate
 from .verify import VerificationReport, verify_plan
@@ -154,17 +155,27 @@ class MemoryManager:
             interlayer=interlayer,
             interlayer_mode=interlayer_mode,
         )
-        return cache.fetch(
-            key,
-            lambda: self.plan(
-                model,
-                objective,
-                scheme=scheme,
-                prefetch=prefetch,
-                interlayer=interlayer,
-                interlayer_mode=interlayer_mode,
-            ),
+        start_ns = clock.monotonic_ns()
+        with get_tracer().start(
+            "plan_cached", model=model.name, scheme=scheme
+        ) as span:
+            hits_before = cache.stats.hits
+            plan = cache.fetch(
+                key,
+                lambda: self.plan(
+                    model,
+                    objective,
+                    scheme=scheme,
+                    prefetch=prefetch,
+                    interlayer=interlayer,
+                    interlayer_mode=interlayer_mode,
+                ),
+            )
+            span.set_attr("cache_hit", cache.stats.hits > hits_before)
+        metrics_registry().histogram("plan_cached_seconds").observe(
+            clock.elapsed_seconds(start_ns)
         )
+        return plan
 
     def verify(self, plan: ExecutionPlan) -> VerificationReport:
         """Statically verify a plan against the invariant catalog.

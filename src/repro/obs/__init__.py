@@ -1,0 +1,57 @@
+"""Zero-dependency telemetry: tracing, metrics, audit trail, exporters.
+
+Public surface:
+
+* :mod:`~repro.obs.clock` — the one monotonic clock every timing uses
+  (monkeypatch ``repro.obs.clock.monotonic_ns`` in tests).
+* :func:`get_tracer` / :func:`enable_tracing` / :func:`disable_tracing`
+  — structured spans, no-op by default (free hot path).
+* :func:`metrics_registry` — process-wide counters/gauges/histograms
+  with enforced unit-suffix names.
+* :mod:`~repro.obs.audit` — the planner decision audit trail behind
+  ``repro explain``.
+* :mod:`~repro.obs.export` — Chrome ``trace_event`` / telemetry-payload
+  rendering.
+
+Nothing in this package imports from the rest of :mod:`repro`, so every
+subsystem may instrument itself without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from . import audit, clock, export
+from .metrics import MetricsRegistry, Snapshot, diff_snapshots, has_unit_suffix
+from .metrics import registry as metrics_registry
+from .tracer import (
+    ENV_TRACE,
+    NullTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    configure_worker,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "ENV_TRACE",
+    "MetricsRegistry",
+    "NullTracer",
+    "Snapshot",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "audit",
+    "clock",
+    "configure_worker",
+    "diff_snapshots",
+    "disable_tracing",
+    "enable_tracing",
+    "export",
+    "get_tracer",
+    "has_unit_suffix",
+    "metrics_registry",
+    "set_tracer",
+]

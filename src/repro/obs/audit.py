@@ -1,0 +1,176 @@
+"""Planner decision audit trail: why each layer got its policy.
+
+Algorithm 1 evaluates every policy in the P1–P5/intra/tiled family (with
+and without prefetch) per layer and keeps exactly one.  The audit trail
+captures what it saw: every candidate with its capacity check, predicted
+off-chip traffic and latency, and the accept/reject reason — including
+candidates that never produced a plan because no tiling fit the GLB.
+
+Recording is always on (it is pure bookkeeping over values the planner
+computes anyway, and fully deterministic), so a plan explains itself
+whether or not tracing was enabled — ``repro explain <model>`` and
+:meth:`repro.analyzer.plan.ExecutionPlan.explain` read it back.
+
+This module is pure data: frozen dataclasses plus payload rendering, no
+imports from the planner (the planner imports *us*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CandidateRecord:
+    """One (policy, prefetch) instantiation the planner considered."""
+
+    #: Candidate label, e.g. ``"p2+p"`` (Table 4 style).
+    label: str
+    policy: str
+    prefetch: bool
+    #: Whether any tiling fit the GLB budget (the Eq. (1)/(2) check).
+    feasible: bool
+    #: Whether Algorithm 1 (or the inter-layer pass) picked this one.
+    chosen: bool
+    #: Human-readable accept/reject reason.
+    reason: str
+    #: GLB residency of the candidate; None when infeasible.
+    memory_bytes: int | None = None
+    #: Predicted off-chip traffic; None when infeasible.
+    accesses_bytes: int | None = None
+    #: Predicted latency; None when infeasible.
+    latency_cycles: float | None = None
+
+    @property
+    def status(self) -> str:
+        """``chosen`` / ``rejected`` / ``infeasible``."""
+        if self.chosen:
+            return "chosen"
+        return "rejected" if self.feasible else "infeasible"
+
+
+@dataclass(frozen=True)
+class LayerDecision:
+    """All candidates of one layer, exactly one of them chosen."""
+
+    index: int
+    layer: str
+    candidates: tuple[CandidateRecord, ...]
+
+    @property
+    def chosen(self) -> CandidateRecord | None:
+        """The accepted candidate (None only for malformed trails)."""
+        for candidate in self.candidates:
+            if candidate.chosen:
+                return candidate
+        return None
+
+    @property
+    def rejected(self) -> tuple[CandidateRecord, ...]:
+        """Every candidate that was not accepted (incl. infeasible ones)."""
+        return tuple(c for c in self.candidates if not c.chosen)
+
+
+@dataclass(frozen=True)
+class DecisionTrail:
+    """The full audit of one planning run."""
+
+    scheme: str
+    objective: str
+    glb_bytes: int
+    layers: tuple[LayerDecision, ...]
+    notes: tuple[str, ...] = ()
+
+    def with_note(self, note: str) -> "DecisionTrail":
+        """A copy of the trail with ``note`` appended."""
+        return replace(self, notes=self.notes + (note,))
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-safe rendering (``repro explain --format json``)."""
+        return {
+            "scheme": self.scheme,
+            "objective": self.objective,
+            "glb_bytes": self.glb_bytes,
+            "notes": list(self.notes),
+            "layers": [
+                {
+                    "index": decision.index,
+                    "layer": decision.layer,
+                    "candidates": [
+                        {
+                            "label": c.label,
+                            "policy": c.policy,
+                            "prefetch": c.prefetch,
+                            "feasible": c.feasible,
+                            "chosen": c.chosen,
+                            "status": c.status,
+                            "reason": c.reason,
+                            "memory_bytes": c.memory_bytes,
+                            "accesses_bytes": c.accesses_bytes,
+                            "latency_cycles": c.latency_cycles,
+                        }
+                        for c in decision.candidates
+                    ],
+                }
+                for decision in self.layers
+            ],
+        }
+
+
+@dataclass
+class TrailBuilder:
+    """Mutable accumulator the planner fills while Algorithm 1 runs."""
+
+    scheme: str
+    objective: str
+    glb_bytes: int
+    layers: list[LayerDecision] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_layer(
+        self, index: int, layer: str, candidates: list[CandidateRecord]
+    ) -> None:
+        """Record one layer's full candidate set."""
+        self.layers.append(
+            LayerDecision(index=index, layer=layer, candidates=tuple(candidates))
+        )
+
+    def note(self, text: str) -> None:
+        """Append a trail-level note (e.g. inter-layer pass summary)."""
+        self.notes.append(text)
+
+    def rechoose(self, index: int, label: str, reason: str) -> None:
+        """Move layer ``index``'s chosen flag to candidate ``label``.
+
+        Used when the inter-layer DP overrides Algorithm 1's per-layer
+        pick; the original winner keeps a reason explaining the override.
+        """
+        for pos, decision in enumerate(self.layers):
+            if decision.index != index:
+                continue
+            updated: list[CandidateRecord] = []
+            for candidate in decision.candidates:
+                if candidate.label == label:
+                    updated.append(replace(candidate, chosen=True, reason=reason))
+                elif candidate.chosen:
+                    updated.append(
+                        replace(
+                            candidate,
+                            chosen=False,
+                            reason="Algorithm 1 pick, overridden by inter-layer DP",
+                        )
+                    )
+                else:
+                    updated.append(candidate)
+            self.layers[pos] = replace(decision, candidates=tuple(updated))
+            return
+
+    def build(self) -> DecisionTrail:
+        """Freeze the accumulated decisions into a :class:`DecisionTrail`."""
+        return DecisionTrail(
+            scheme=self.scheme,
+            objective=self.objective,
+            glb_bytes=self.glb_bytes,
+            layers=tuple(self.layers),
+            notes=tuple(self.notes),
+        )

@@ -31,6 +31,13 @@ into the ``repro-diagnostics/1`` payload::
 regression test in ``tests/test_analysis.py`` holds both CLIs' JSON
 output to it.
 
+The module also validates the second machine-readable stream the repo
+emits: the telemetry exporter's ``repro-telemetry/1`` payload
+(:mod:`repro.obs.export` — a Chrome ``trace_event`` file with a metrics
+snapshot and metadata riding along).  :func:`validate_telemetry_payload`
+plays the same role for it that :func:`validate_payload` plays for
+diagnostics.
+
 This module deliberately imports nothing from :mod:`repro.verify` or
 :mod:`repro.analysis` (both import the report layer), so the payload
 builders take the report objects duck-typed.
@@ -47,6 +54,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Identifier of the shared schema (bump on incompatible changes).
 SCHEMA_ID = "repro-diagnostics/1"
+
+#: Identifier of the telemetry export schema.  Kept as a literal here
+#: (this module imports nothing from the subsystems it validates); a
+#: regression test pins it to :data:`repro.obs.export.TELEMETRY_SCHEMA`.
+TELEMETRY_SCHEMA_ID = "repro-telemetry/1"
 
 _CODE_RE = re.compile(r"^[VR]\d{3}$")
 _SEVERITIES = ("error", "warning")
@@ -215,4 +227,110 @@ def validate_payload(payload: Any) -> list[str]:
         for key in ("suppressed", "baselined"):
             if not isinstance(entry[key], bool):
                 problems.append(f"{where}.{key} must be a boolean")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# repro-telemetry/1 (the obs exporter's Chrome-trace + metrics payload)
+# ----------------------------------------------------------------------
+
+_TRACE_PHASES = ("X", "M")
+_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid", "args")
+_METRIC_KINDS = ("counters", "gauges", "histograms")
+_HISTOGRAM_KEYS = ("count", "sum", "min", "max")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _validate_trace_event(entry: Any, where: str, problems: list[str]) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"{where} is not an object")
+        return
+    missing = [k for k in _EVENT_KEYS if k not in entry]
+    if missing:
+        problems.append(f"{where} missing keys: {missing}")
+        return
+    if not isinstance(entry["name"], str):
+        problems.append(f"{where}.name must be a string")
+    if entry["ph"] not in _TRACE_PHASES:
+        problems.append(f"{where}.ph must be one of {_TRACE_PHASES}")
+    if not _is_number(entry["ts"]) or entry["ts"] < 0:
+        problems.append(f"{where}.ts must be a non-negative number")
+    for key in ("pid", "tid"):
+        if not isinstance(entry[key], int) or isinstance(entry[key], bool):
+            problems.append(f"{where}.{key} must be an integer")
+    if not isinstance(entry["args"], dict):
+        problems.append(f"{where}.args must be an object")
+    if entry["ph"] == "X":
+        dur = entry.get("dur")
+        if not _is_number(dur) or dur < 0:
+            problems.append(f"{where}.dur must be a non-negative number")
+
+
+def _validate_metrics(metrics: Any, problems: list[str]) -> None:
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+        return
+    missing = [k for k in _METRIC_KINDS if k not in metrics]
+    if missing:
+        problems.append(f"metrics missing keys: {missing}")
+    for kind in ("counters", "gauges"):
+        values = metrics.get(kind)
+        if values is None:
+            continue
+        if not isinstance(values, dict) or not all(
+            isinstance(k, str) and _is_number(v) for k, v in values.items()
+        ):
+            problems.append(f"metrics.{kind} must map names to numbers")
+    histograms = metrics.get("histograms")
+    if histograms is not None:
+        if not isinstance(histograms, dict):
+            problems.append("metrics.histograms must be an object")
+            return
+        for name, summary in histograms.items():
+            where = f"metrics.histograms[{name!r}]"
+            if not isinstance(summary, dict):
+                problems.append(f"{where} is not an object")
+                continue
+            absent = [k for k in _HISTOGRAM_KEYS if k not in summary]
+            if absent:
+                problems.append(f"{where} missing keys: {absent}")
+            bad = [k for k in _HISTOGRAM_KEYS if k in summary and not _is_number(summary[k])]
+            if bad:
+                problems.append(f"{where} non-numeric fields: {bad}")
+
+
+def validate_telemetry_payload(payload: Any) -> list[str]:
+    """Structural validation of a ``repro-telemetry/1`` payload.
+
+    Returns a list of problems (empty = valid).  Like
+    :func:`validate_payload`, this function *is* the schema — the
+    regression suite feeds ``--trace-out`` files through it, so the
+    exporter cannot drift without a test failure.  The checked shape is
+    a superset of the Chrome ``trace_event`` JSON object form, so any
+    valid payload loads in Perfetto / ``chrome://tracing`` as-is.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != TELEMETRY_SCHEMA_ID:
+        problems.append(
+            f"schema must be {TELEMETRY_SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("displayTimeUnit"), str):
+        problems.append("displayTimeUnit must be a string")
+    meta = payload.get("meta")
+    if not isinstance(meta, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in meta.items()
+    ):
+        problems.append("meta must be an object of string values")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("traceEvents must be a list")
+    else:
+        for i, entry in enumerate(events):
+            _validate_trace_event(entry, f"traceEvents[{i}]", problems)
+    _validate_metrics(payload.get("metrics"), problems)
     return problems

@@ -39,6 +39,7 @@ from typing import Iterator
 from ..arch.spec import AcceleratorSpec
 from ..analyzer.plan import ExecutionPlan, LayerAssignment, transformed_schedule
 from ..estimators.latency import effective_dram_bandwidth
+from ..obs import get_tracer, metrics_registry
 from ..policies.base import LayerSchedule
 
 
@@ -167,7 +168,7 @@ def simulate_assignment(
 
     port_work = (loads + stores + schedule.resident_load) / bw
     total = max(load_t, pe_t, store_t, port_work if prefetch else 0.0)
-    return LayerSimResult(
+    result = LayerSimResult(
         name=plan.layer.name,
         cycles=total,
         dram_load_elems=loads + schedule.resident_load,
@@ -176,6 +177,12 @@ def simulate_assignment(
         dma_busy_cycles=port_work,
         steps=n_steps,
     )
+    registry = metrics_registry()
+    registry.counter("sim_layers_count").add(1)
+    registry.counter("sim_steps_count").add(n_steps)
+    registry.counter("sim_dram_load_elems").add(result.dram_load_elems)
+    registry.counter("sim_dram_store_elems").add(stores)
+    return result
 
 
 @dataclass
@@ -208,14 +215,23 @@ def simulate_plan(
     max_steps_per_layer: int | None = None,
 ) -> PlanSimResult:
     """Execute every layer of a plan in order."""
+    tracer = get_tracer()
     result = PlanSimResult()
-    for assignment in plan.assignments:
-        result.layers.append(
-            simulate_assignment(
-                assignment,
-                plan.spec,
-                record_trace=record_trace,
-                max_steps=max_steps_per_layer,
-            )
-        )
+    with tracer.start(
+        "simulate_plan", model=plan.model.name, scheme=plan.scheme
+    ) as plan_span:
+        for assignment in plan.assignments:
+            with tracer.start(
+                "sim_layer", layer=assignment.layer.name, policy=assignment.label
+            ) as layer_span:
+                layer_result = simulate_assignment(
+                    assignment,
+                    plan.spec,
+                    record_trace=record_trace,
+                    max_steps=max_steps_per_layer,
+                )
+                layer_span.set_attr("steps_count", layer_result.steps)
+                layer_span.set_attr("cycles", layer_result.cycles)
+            result.layers.append(layer_result)
+        plan_span.set_attr("total_cycles", result.total_cycles)
     return result

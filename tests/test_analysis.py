@@ -389,6 +389,64 @@ def test_r023_clean_on_known_references(tmp_path: Path) -> None:
 
 
 # ----------------------------------------------------------------------
+# Observability pack (R030-R031)
+# ----------------------------------------------------------------------
+
+
+def test_r030_fires_on_bare_span_start() -> None:
+    src = (
+        "def plan(tracer) -> None:\n"
+        "    span = tracer.start('plan_layer')\n"
+        "    span.set_attr('x', 1)\n"
+    )
+    assert "R030" in active_codes(analyze_source(src))
+
+
+def test_r030_fires_on_accessor_chain() -> None:
+    src = (
+        "from repro.obs import get_tracer\n\n"
+        "def plan() -> None:\n"
+        "    get_tracer().start('plan_layer')\n"
+    )
+    assert "R030" in active_codes(analyze_source(src))
+
+
+def test_r030_clean_with_context_manager() -> None:
+    src = (
+        "from repro.obs import get_tracer\n\n"
+        "def plan() -> None:\n"
+        "    with get_tracer().start('plan_layer') as span:\n"
+        "        span.set_attr('x', 1)\n"
+    )
+    assert "R030" not in active_codes(analyze_source(src))
+
+
+def test_r030_ignores_non_tracer_receivers() -> None:
+    src = "def go(engine) -> None:\n    engine.start('motor')\n"
+    assert "R030" not in active_codes(analyze_source(src))
+
+
+def test_r031_fires_on_unsuffixed_metric_name() -> None:
+    src = (
+        "from repro.obs import metrics_registry\n\n"
+        "def record() -> None:\n"
+        "    metrics_registry().counter('cache_hits').add(1)\n"
+    )
+    assert "R031" in active_codes(analyze_source(src))
+
+
+def test_r031_clean_on_suffixed_names_and_variables() -> None:
+    src = (
+        "from repro.obs import metrics_registry\n\n"
+        "def record(name: str) -> None:\n"
+        "    metrics_registry().counter('cache_hits_count').add(1)\n"
+        "    metrics_registry().histogram('plan_seconds').observe(0.5)\n"
+        "    metrics_registry().counter(name).add(1)\n"
+    )
+    assert "R031" not in active_codes(analyze_source(src))
+
+
+# ----------------------------------------------------------------------
 # Suppressions and baseline
 # ----------------------------------------------------------------------
 

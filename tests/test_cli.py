@@ -89,6 +89,19 @@ class TestBaselineCompareSweep:
         assert "Experiment engine summary (jobs=2)" in out
         assert json.loads(bench.read_text())["jobs"] == 2
 
+    def test_experiments_trace_out_roundtrip(self, capsys, tmp_path, monkeypatch):
+        from repro.report.diagnostics import validate_telemetry_payload
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        trace = tmp_path / "trace.json"
+        assert main(["experiments", "table2", "--trace-out", str(trace), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "Run metrics" in out
+        payload = json.loads(trace.read_text())
+        assert validate_telemetry_payload(payload) == []
+        assert any(e["name"] == "artifact" for e in payload["traceEvents"])
+
     def test_experiments_unknown_artifact_exits_2(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(["experiments", "fig99"])
@@ -107,6 +120,41 @@ class TestEvaluate:
     def test_evaluate_unknown_layer(self):
         with pytest.raises(KeyError):
             main(["evaluate", "ResNet18", "not_a_layer"])
+
+
+class TestExplain:
+    def test_explain_table_case_insensitive(self, capsys):
+        assert main(["explain", "resnet18", "--glb", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "decision audit" in out
+        assert "* " in out  # every layer marks its chosen candidate
+        assert "rejected" in out  # and at least one losing candidate
+        assert "candidates considered" in out
+
+    def test_explain_json_payload(self, capsys):
+        assert main(["explain", "MobileNet", "--glb", "64", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheme"] == "het"
+        assert payload["layers"]
+        for layer in payload["layers"]:
+            statuses = [c["status"] for c in layer["candidates"]]
+            assert statuses.count("chosen") == 1
+            rejected = [c for c in layer["candidates"] if c["status"] != "chosen"]
+            assert all(c["reason"] for c in rejected)
+
+    def test_explain_layer_filter(self, capsys):
+        assert main(["explain", "ResNet18", "--glb", "64", "--layer", "conv1"]) == 0
+        out = capsys.readouterr().out
+        assert "conv1" in out and "conv2_1a" not in out
+
+    def test_explain_unknown_model_exits_2(self, capsys):
+        assert main(["explain", "NotAModel"]) == 2
+        err = capsys.readouterr().err
+        assert "NotAModel" in err and "ResNet18" in err  # lists available ids
+
+    def test_explain_unknown_layer_exits_2(self, capsys):
+        assert main(["explain", "ResNet18", "--layer", "not_a_layer"]) == 2
+        assert "not_a_layer" in capsys.readouterr().err
 
 
 class TestExtensionCommands:

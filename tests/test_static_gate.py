@@ -53,6 +53,46 @@ def test_repro_lint_strict_clean() -> None:
     assert proc.returncode == 0, f"repro lint findings:\n{proc.stdout}\n{proc.stderr}"
 
 
+def test_trace_out_smoke_emits_schema_valid_trace(tmp_path: Path) -> None:
+    """CI smoke: ``--trace-out`` writes a valid ``repro-telemetry/1`` file.
+
+    Mirrors the CI telemetry step (``python -m repro.experiments ...
+    --trace-out``); the emitted JSON must pass the schema validator and
+    carry the Chrome ``trace_event`` keys Perfetto requires.
+    """
+    import json
+
+    from repro.report.diagnostics import validate_telemetry_payload
+
+    trace = tmp_path / "trace.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments",
+            "table2",
+            "--trace-out",
+            str(trace),
+        ],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env={
+            **os.environ,
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "REPRO_CACHE_DIR": str(tmp_path / "cache"),
+        },
+    )
+    assert proc.returncode == 0, f"smoke run failed:\n{proc.stdout}\n{proc.stderr}"
+    assert "trace written to" in proc.stdout
+    payload = json.loads(trace.read_text())
+    assert validate_telemetry_payload(payload) == []
+    assert payload["traceEvents"], "smoke trace carries no events"
+    for event in payload["traceEvents"]:
+        assert {"name", "ph", "ts", "pid", "tid"} <= set(event)
+
+
 def test_no_unused_imports() -> None:
     """Fallback for environments without ruff: flag obviously-unused imports.
 
