@@ -10,8 +10,18 @@ are :class:`Finding` records with stable ``R0xx`` codes (see
 exceptions carry inline ``# repro: noqa[Rxxx] -- reason`` markers, and
 grandfathered findings live in the committed ``lint-baseline.json``.
 
+Checking is interprocedural where it matters: a project-wide call graph
+(:mod:`repro.analysis.callgraph`) feeds unit-flow inference
+(``R040``–``R044``, :mod:`repro.analysis.unitflow`) and determinism-
+reachability analysis (``R050``–``R053``,
+:mod:`repro.analysis.reach_rules`), so a ``_bytes`` value crossing a
+module boundary into an ``_elems`` parameter, or an RNG call three
+levels below a cache-key constructor, is caught from the declaration
+conventions alone.
+
 Entry points: :func:`analyze_paths`, :func:`analyze_source`, and the
-``repro lint`` CLI subcommand.
+``repro lint`` CLI subcommand (``--format sarif`` exports SARIF 2.1.0
+via :mod:`repro.report.sarif`).
 """
 
 from .baseline import (
@@ -20,6 +30,7 @@ from .baseline import (
     load_baseline,
     write_baseline,
 )
+from .callgraph import CallGraph, FunctionInfo, build_callgraph
 from .codes import (
     ALL_RULE_CODES,
     RULE_DESCRIPTIONS,
@@ -38,7 +49,9 @@ __all__ = [
     "AnalysisReport",
     "BASELINE_FILENAME",
     "Baseline",
+    "CallGraph",
     "Finding",
+    "FunctionInfo",
     "Project",
     "REGISTRY",
     "RULE_DESCRIPTIONS",
@@ -52,6 +65,7 @@ __all__ = [
     "all_rules",
     "analyze_paths",
     "analyze_source",
+    "build_callgraph",
     "describe_rule",
     "find_project_root",
     "iter_python_files",

@@ -3,8 +3,11 @@
 New rules occasionally land against a codebase with pre-existing
 violations that are expensive to fix in the same change.  Rather than
 weakening the rule or sprinkling noqa comments, such findings are
-*baselined*: recorded in a committed JSON file by fingerprint (code +
-path + message — line-independent, so unrelated edits do not churn it).
+*baselined*: recorded in a committed JSON file by content-addressed
+fingerprint (rule code + path + normalized source snippet — independent
+of both line numbers and message wording, so neither unrelated edits
+above a finding nor rule-message rewording churn the file; the entry
+re-arms exactly when the offending line itself changes).
 Baselined findings are reported but do not gate; deleting an entry (or
 the fixing of the underlying code) re-arms the rule.
 
@@ -26,8 +29,11 @@ from typing import Iterable
 
 from .findings import Finding
 
-#: Schema version of the baseline file.
-BASELINE_SCHEMA = 1
+#: Schema version of the baseline file.  Version 2 switched the
+#: fingerprint basis from (code, path, message) to (code, path,
+#: normalized snippet); v1 files no longer match and must be
+#: regenerated with ``--write-baseline``.
+BASELINE_SCHEMA = 2
 
 #: Default baseline filename, looked up at the project root.
 BASELINE_FILENAME = "lint-baseline.json"
@@ -55,7 +61,11 @@ def load_baseline(path: Path) -> Baseline:
     except FileNotFoundError:
         return Baseline(path=path)
     if not isinstance(raw, dict) or raw.get("schema") != BASELINE_SCHEMA:
-        raise ValueError(f"{path}: not a schema-{BASELINE_SCHEMA} baseline file")
+        raise ValueError(
+            f"{path}: not a schema-{BASELINE_SCHEMA} baseline file "
+            f"(older versions fingerprinted by message; regenerate with "
+            f"--write-baseline)"
+        )
     entries = raw.get("entries", [])
     return Baseline(
         fingerprints=frozenset(str(e["fingerprint"]) for e in entries),
@@ -66,14 +76,15 @@ def load_baseline(path: Path) -> Baseline:
 def write_baseline(path: Path, findings: Iterable[Finding]) -> int:
     """Write every unsuppressed finding's fingerprint; returns the count.
 
-    Entries keep the human-readable code/path/message next to the
-    fingerprint so baseline diffs review like normal code.
+    Entries keep the human-readable code/path/snippet next to the
+    fingerprint so baseline diffs review like normal code (the snippet
+    is the normalized source line the fingerprint actually hashes).
     """
     entries = [
         {
             "code": f.code,
             "path": f.path,
-            "message": f.message,
+            "snippet": f.normalized_snippet(),
             "fingerprint": f.fingerprint(),
         }
         for f in sorted(

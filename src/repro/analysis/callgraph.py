@@ -1,0 +1,371 @@
+"""Project-wide call graph over the analyzed source set.
+
+The per-file rule packs (R001–R015) see one AST at a time; the
+interprocedural packs — unit-flow (R040–R044, :mod:`.unitflow`) and
+determinism-reachability (R050–R053, :mod:`.reach_rules`) — need to know
+*who calls whom across the whole of* ``src/repro``.  This module builds
+that graph once per :class:`~repro.analysis.rules.Project` (cached on
+the project via :meth:`Project.callgraph`) from nothing but the parsed
+ASTs:
+
+* every function and method gets a dotted :attr:`FunctionInfo.qualname`
+  (``repro.experiments.cache.fetch``,
+  ``repro.manager.MemoryManager.plan_cached``, nested defs included);
+* call sites are resolved through import aliases (absolute *and*
+  relative imports, package re-exports followed transitively), local
+  bindings, and ``self``/``cls`` method dispatch within the enclosing
+  class;
+* decorators are transparent — an ``@lru_cache``- or
+  ``@functools.wraps``-wrapped function keeps its identity, so calls to
+  the decorated name still resolve to its body;
+* a *reference* to a known function in argument or keyword position
+  (``pool.submit(worker, x)``, ``initializer=configure_worker``,
+  ``functools.partial(f, …)``, ``cache.fetch(key, thunk)``) is recorded
+  as a may-call edge: anything that escapes by value may run later.
+
+Resolution is deliberately conservative-by-name: unresolvable dynamic
+dispatch (``ARTIFACTS[name]()``, attribute calls on arbitrary objects)
+produces no edge rather than a wrong one, so downstream rules trade a
+little recall for zero resolution-induced false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .determinism_rules import import_map, resolve_call_target
+from .rules import Project, SourceFile
+
+#: Decorator names that never change a function's call-graph identity.
+#: (Any decorator is treated as transparent; this set only documents the
+#: common ones the tests pin.)
+TRANSPARENT_DECORATORS = frozenset(
+    {"lru_cache", "cache", "wraps", "property", "cached_property",
+     "staticmethod", "classmethod", "rule", "dataclass"}
+)
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name of a project-relative ``.py`` path.
+
+    ``src/repro/experiments/cache.py`` → ``repro.experiments.cache``;
+    a package ``__init__.py`` maps to the package itself.
+    """
+    parts = relpath.replace("\\", "/").split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(p for p in parts if p)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function/method definition known to the call graph."""
+
+    qualname: str
+    module: str
+    cls: str | None
+    file: SourceFile
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+
+    @property
+    def name(self) -> str:
+        """The bare (unqualified) function name."""
+        return self.node.name
+
+    @property
+    def line(self) -> int:
+        """Definition line, for finding anchors."""
+        return self.node.lineno
+
+    @property
+    def is_method(self) -> bool:
+        """Whether the function is defined inside a class body."""
+        return self.cls is not None
+
+    @property
+    def is_static(self) -> bool:
+        """Whether the function carries a ``@staticmethod`` decorator."""
+        for deco in self.node.decorator_list:
+            if isinstance(deco, ast.Name) and deco.id == "staticmethod":
+                return True
+        return False
+
+    def param_names(self) -> list[str]:
+        """Positional parameter names (posonly + regular), in order."""
+        args = self.node.args
+        return [a.arg for a in (*args.posonlyargs, *args.args)]
+
+
+@dataclass
+class CallGraph:
+    """Functions, resolved call edges, and reachability over them."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: caller qualname → callee qualnames (direct calls and references).
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: call-site detail: caller → list of (callee, Call node, file).
+    callsites: dict[str, list[tuple[str, ast.Call, SourceFile]]] = field(
+        default_factory=dict
+    )
+
+    def callees(self, qualname: str) -> set[str]:
+        """Direct callees of a function (empty when unknown)."""
+        return self.edges.get(qualname, set())
+
+    def reachable_from(self, roots: set[str]) -> dict[str, tuple[str, ...]]:
+        """Every function reachable from ``roots``, with a witness chain.
+
+        Returns ``{qualname: (root, …, qualname)}`` — one shortest call
+        chain per reached function, BFS order, deterministic (sorted
+        frontier) so findings are stable across runs.
+        """
+        chains: dict[str, tuple[str, ...]] = {
+            root: (root,) for root in sorted(roots) if root in self.functions
+        }
+        frontier = sorted(chains)
+        while frontier:
+            next_frontier: list[str] = []
+            for caller in frontier:
+                for callee in sorted(self.edges.get(caller, ())):
+                    if callee in chains:
+                        continue
+                    chains[callee] = (*chains[caller], callee)
+                    next_frontier.append(callee)
+            frontier = next_frontier
+        return chains
+
+    def by_suffix(self, suffix: str) -> Iterator[FunctionInfo]:
+        """Functions whose qualname ends with ``suffix`` (dotted-aware)."""
+        for qualname, info in self.functions.items():
+            if qualname == suffix or qualname.endswith("." + suffix):
+                yield info
+
+
+class _DefCollector(ast.NodeVisitor):
+    """First pass: record every function definition with its qualname."""
+
+    def __init__(self, graph: CallGraph, file: SourceFile, module: str) -> None:
+        self.graph = graph
+        self.file = file
+        self.module = module
+        self.scope: list[str] = []
+        self.class_stack: list[str] = []
+
+    def _record(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        qualname = ".".join([self.module, *self.scope, node.name])
+        self.graph.functions[qualname] = FunctionInfo(
+            qualname=qualname,
+            module=self.module,
+            cls=self.class_stack[-1] if self.class_stack else None,
+            file=self.file,
+            node=node,
+        )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Record the def, then descend for nested defs."""
+        self._record(node)
+        self.scope.append(node.name)
+        saved_classes = self.class_stack
+        self.class_stack = []
+        self.generic_visit(node)
+        self.class_stack = saved_classes
+        self.scope.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Async defs are recorded like regular ones."""
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Methods are scoped under ``module.Class.method``."""
+        self.scope.append(node.name)
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.scope.pop()
+
+
+def _relative_base(module: str, file: SourceFile, level: int) -> str:
+    """Package a ``from .``-import of ``level`` dots resolves against."""
+    parts = module.split(".") if module else []
+    is_package = file.relpath.replace("\\", "/").endswith("__init__.py")
+    if not is_package and parts:
+        parts = parts[:-1]
+    drop = level - 1
+    if drop:
+        parts = parts[:-drop] if drop < len(parts) else []
+    return ".".join(parts)
+
+
+def _alias_map(file: SourceFile, module: str) -> dict[str, str]:
+    """Local alias → dotted path, with relative imports resolved.
+
+    Extends :func:`~repro.analysis.determinism_rules.import_map` (which
+    only handles absolute imports) by rewriting ``from .x import y`` /
+    ``from .. import z`` against the importing module's package.
+    """
+    aliases = import_map(file.tree)
+    for node in ast.walk(file.tree):
+        if isinstance(node, ast.ImportFrom) and node.level > 0:
+            base = _relative_base(module, file, node.level)
+            target = f"{base}.{node.module}" if node.module else base
+            for a in node.names:
+                if a.name != "*":
+                    dotted = f"{target}.{a.name}" if target else a.name
+                    aliases[a.asname or a.name] = dotted
+    return aliases
+
+
+@dataclass
+class _Resolver:
+    """Resolves dotted paths to known functions, following re-exports."""
+
+    graph: CallGraph
+    #: module → alias map (covers package ``__init__`` re-exports).
+    module_aliases: dict[str, dict[str, str]]
+
+    def resolve(self, dotted: str, depth: int = 0) -> str | None:
+        """Qualname of the function a dotted path names, if known."""
+        if depth > 4:  # re-export chains are short; cycles must terminate
+            return None
+        if dotted in self.graph.functions:
+            return dotted
+        # a.b.c where a.b is a module whose alias map re-exports c
+        head, _, leaf = dotted.rpartition(".")
+        if head and leaf:
+            exported = self.module_aliases.get(head, {}).get(leaf)
+            if exported and exported != dotted:
+                return self.resolve(exported, depth + 1)
+        return None
+
+
+class _EdgeCollector(ast.NodeVisitor):
+    """Second pass: resolve call sites and value references to edges."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        resolver: _Resolver,
+        file: SourceFile,
+        module: str,
+        aliases: dict[str, str],
+    ) -> None:
+        self.graph = graph
+        self.resolver = resolver
+        self.file = file
+        self.module = module
+        self.aliases = aliases
+        self.scope: list[str] = []
+        self.class_stack: list[str] = []
+
+    # -- scope tracking -------------------------------------------------
+
+    def _current_caller(self) -> str | None:
+        if not self.scope:
+            return None
+        return ".".join([self.module, *self.scope])
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Enter the function scope; decorators stay transparent.
+
+        Unlike the def collector, the class stack is *not* reset here:
+        ``self`` inside a def nested in a method still refers to the
+        enclosing class, and edge resolution needs that.
+        """
+        self.scope.append(node.name)
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Async defs tracked like regular ones."""
+        self.visit_FunctionDef(node)  # type: ignore[arg-type]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        """Enter the class scope for method qualnames."""
+        self.scope.append(node.name)
+        self.class_stack.append(node.name)
+        self.generic_visit(node)
+        self.class_stack.pop()
+        self.scope.pop()
+
+    # -- resolution ------------------------------------------------------
+
+    def _resolve_expr(self, expr: ast.expr) -> str | None:
+        """Qualname a name/attribute expression refers to, if known."""
+        # self.method / cls.method → enclosing class's method
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id in ("self", "cls")
+            and self.class_stack
+        ):
+            # innermost enclosing class (last occurrence in the scope)
+            idx = (
+                len(self.scope)
+                - 1
+                - self.scope[::-1].index(self.class_stack[-1])
+            )
+            cls_path = ".".join([self.module, *self.scope[: idx + 1]])
+            return self.resolver.resolve(f"{cls_path}.{expr.attr}")
+        dotted = resolve_call_target(expr, self.aliases)
+        if dotted is None:
+            return None
+        resolved = self.resolver.resolve(dotted)
+        if resolved is not None:
+            return resolved
+        # a bare name: try enclosing scopes (nested defs), then module
+        if isinstance(expr, ast.Name):
+            for cut in range(len(self.scope), -1, -1):
+                candidate = ".".join([self.module, *self.scope[:cut], expr.id])
+                resolved = self.resolver.resolve(candidate)
+                if resolved is not None:
+                    return resolved
+        return None
+
+    def _add_edge(self, callee: str, call: ast.Call | None) -> None:
+        caller = self._current_caller()
+        if caller is None or caller not in self.graph.functions:
+            # module-level code: attribute edges to a synthetic "<module>"
+            caller = f"{self.module}.<module>"
+        self.graph.edges.setdefault(caller, set()).add(callee)
+        if call is not None:
+            self.graph.callsites.setdefault(caller, []).append(
+                (callee, call, self.file)
+            )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Record the direct edge plus reference edges for escaping args."""
+        callee = self._resolve_expr(node.func)
+        if callee is not None:
+            self._add_edge(callee, node)
+        for value in (*node.args, *(kw.value for kw in node.keywords)):
+            if isinstance(value, (ast.Name, ast.Attribute)):
+                referenced = self._resolve_expr(value)
+                if referenced is not None:
+                    self._add_edge(referenced, None)
+        self.generic_visit(node)
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Construct the whole-program call graph for an analyzed project."""
+    graph = CallGraph()
+    modules: list[tuple[SourceFile, str]] = []
+    for file in project.files:
+        module = module_name(file.relpath)
+        modules.append((file, module))
+        _DefCollector(graph, file, module).visit(file.tree)
+    module_aliases = {
+        module: _alias_map(file, module) for file, module in modules
+    }
+    resolver = _Resolver(graph=graph, module_aliases=module_aliases)
+    for file, module in modules:
+        collector = _EdgeCollector(
+            graph, resolver, file, module, module_aliases[module]
+        )
+        collector.visit(file.tree)
+    return graph

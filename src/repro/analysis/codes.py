@@ -23,6 +23,17 @@ Catalog overview
   subsystem (:mod:`repro.obs`) has its own usage contract — spans only
   record on ``__exit__`` and metric names declare their unit by suffix —
   that silent misuse would erode without a check.
+* ``R040``–``R044`` — the **unit-flow** pack (project scope): the
+  interprocedural upgrade of R001–R004.  A whole-program call graph
+  (:mod:`repro.analysis.callgraph`) carries an inferred unit lattice
+  (:mod:`repro.analysis.unitflow`) across call and return boundaries,
+  so a ``_bytes`` value returned into an ``_elems`` parameter two
+  modules away is no longer invisible.
+* ``R050``–``R053`` — the **determinism-reachability** pack (project
+  scope): the whole-program upgrade of R010–R015.  Starting from the
+  determinism roots (cache-key construction, pool-worker entry points,
+  ``plan_cached``), any *transitively reachable* nondeterminism source
+  is flagged with its call chain.
 """
 
 from __future__ import annotations
@@ -46,6 +57,15 @@ RULE_TITLES: dict[str, str] = {
     "R023": "unknown diagnostic code referenced",
     "R030": "tracer span opened without context manager",
     "R031": "metric name missing unit suffix",
+    "R040": "call-site unit mismatch",
+    "R041": "return-boundary unit mismatch",
+    "R042": "cross-unit assignment through dataflow",
+    "R043": "interprocedural unit mix in arithmetic",
+    "R044": "unit-cast helper misuse",
+    "R050": "nondeterministic call reachable from determinism root",
+    "R051": "environment read reachable from determinism root",
+    "R052": "unordered set iteration reachable from cache-key path",
+    "R053": "unsorted JSON serialization reachable from cache-key path",
 }
 
 #: code → full description (the invariant that must hold).
@@ -152,10 +172,69 @@ RULE_DESCRIPTIONS: dict[str, str] = {
         "``_count``, ``_ns``, ``_seconds``, …) so that merged metric "
         "snapshots stay unit-unambiguous across subsystems."
     ),
+    "R040": (
+        "An argument whose inferred unit is known must not flow into a "
+        "parameter declaring a different unit: passing a ``_bytes`` "
+        "value into an ``_elems`` parameter is wrong by the data width, "
+        "and only a whole-program pass can see it when the callee lives "
+        "in another module.  Conversions must go through the sanctioned "
+        "casts in ``repro.arch.units``."
+    ),
+    "R041": (
+        "A function whose name declares a unit (``tile_bytes()``, "
+        "``footprint_elems()``) must return values of that unit on "
+        "every path; a return expression inferring a different unit "
+        "silently mislabels every caller's arithmetic."
+    ),
+    "R042": (
+        "A name declaring a unit must not be assigned from an "
+        "expression whose dataflow-inferred unit differs (e.g. "
+        "``n_elems = total_bytes`` or ``x_elems = f()`` where ``f`` "
+        "returns bytes): the mislabeled binding defeats every "
+        "downstream suffix-based check."
+    ),
+    "R043": (
+        "Additive arithmetic and ordering comparisons must not mix "
+        "units even when one operand's unit is only known through "
+        "interprocedural inference (a call's return unit or a "
+        "propagated local) — the whole-program extension of R001."
+    ),
+    "R044": (
+        "The unit-cast helpers have fixed input units (``to_kib``/"
+        "``to_mib`` take bytes; ``kib``/``mib`` take a KiB/MiB count, "
+        "not bytes): applying a cast to an operand of a different "
+        "inferred unit double- or mis-converts silently."
+    ),
+    "R050": (
+        "No nondeterministic call (RNG, wall clock, pid, uuid) may be "
+        "transitively reachable from a determinism root — cache-key "
+        "construction, a pool-worker entry point, or ``plan_cached`` — "
+        "because one nondeterministic frame anywhere in the chain forks "
+        "cache keys or worker outputs for identical inputs."
+    ),
+    "R051": (
+        "No ambient environment read may be transitively reachable "
+        "from a determinism root unless it is a documented "
+        "configuration boundary: an env-dependent value flowing into a "
+        "cache key or worker result makes outputs depend on the "
+        "invoking shell."
+    ),
+    "R052": (
+        "No function transitively reachable from cache-key "
+        "construction may iterate a set/frozenset without ``sorted()`` "
+        "— whatever its name.  R013 only checks digest-*named* "
+        "functions; this rule closes the gap for helpers on the key "
+        "path."
+    ),
+    "R053": (
+        "No function transitively reachable from cache-key "
+        "construction may call ``json.dumps`` without "
+        "``sort_keys=True`` — the whole-program extension of R014."
+    ),
 }
 
 #: code → rule pack ("engine", "units", "determinism", "registry",
-#: "observability").
+#: "observability", "unitflow", "reachability").
 RULE_PACKS: dict[str, str] = {
     "R000": "engine",
     "R001": "units",
@@ -174,10 +253,19 @@ RULE_PACKS: dict[str, str] = {
     "R023": "registry",
     "R030": "observability",
     "R031": "observability",
+    "R040": "unitflow",
+    "R041": "unitflow",
+    "R042": "unitflow",
+    "R043": "unitflow",
+    "R044": "unitflow",
+    "R050": "reachability",
+    "R051": "reachability",
+    "R052": "reachability",
+    "R053": "reachability",
 }
 
 #: Codes reported as warnings (hazards) rather than errors (defects).
-WARNING_CODES: frozenset[str] = frozenset({"R004", "R011"})
+WARNING_CODES: frozenset[str] = frozenset({"R004", "R011", "R051"})
 
 #: All catalog codes in numeric order.
 ALL_RULE_CODES: tuple[str, ...] = tuple(sorted(RULE_TITLES))

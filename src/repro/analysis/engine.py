@@ -13,6 +13,8 @@ source text — the fixture-test entry point.
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -81,14 +83,7 @@ def _apply_suppressions(
         if file is not None and suppressed_at(
             file.suppressions, finding.line, finding.code
         ):
-            finding = Finding(
-                code=finding.code,
-                path=finding.path,
-                line=finding.line,
-                message=finding.message,
-                severity=finding.severity,
-                suppressed=True,
-            )
+            finding = replace(finding, suppressed=True)
         marked.append(finding)
     return tuple(marked)
 
@@ -99,14 +94,7 @@ def _apply_baseline(
     marked = []
     for finding in findings:
         if not finding.suppressed and baseline.covers(finding):
-            finding = Finding(
-                code=finding.code,
-                path=finding.path,
-                line=finding.line,
-                message=finding.message,
-                severity=finding.severity,
-                baselined=True,
-            )
+            finding = replace(finding, baselined=True)
         marked.append(finding)
     return tuple(marked)
 
@@ -124,6 +112,7 @@ def analyze_paths(
     ``baseline`` defaults to ``<root>/lint-baseline.json`` when present
     (pass ``use_baseline=False`` to ignore it).
     """
+    started = time.perf_counter()
     resolved = [Path(p) for p in paths]
     missing = [p for p in resolved if not p.exists()]
     if missing:
@@ -161,7 +150,12 @@ def analyze_paths(
 
     marked = _apply_suppressions(findings, sources)
     marked = _apply_baseline(marked, baseline)
-    return AnalysisReport(findings=marked, files=len(files), checks=checks)
+    return AnalysisReport(
+        findings=marked,
+        files=len(files),
+        checks=checks,
+        duration_seconds=time.perf_counter() - started,
+    )
 
 
 def analyze_source(source: str, filename: str = "fixture.py") -> tuple[Finding, ...]:

@@ -45,6 +45,10 @@ class Finding:
         True when an inline ``# repro: noqa[Rxxx]`` covers the finding.
     baselined:
         True when the committed baseline file grandfathers the finding.
+    snippet:
+        Text of the anchored source line (empty for whole-file or
+        out-of-source findings); the normalized snippet is what the
+        baseline fingerprint hashes.
     """
 
     code: str
@@ -54,6 +58,7 @@ class Finding:
     severity: Severity = Severity.ERROR
     suppressed: bool = False
     baselined: bool = False
+    snippet: str = ""
 
     def __post_init__(self) -> None:
         if self.code not in RULE_TITLES:
@@ -74,13 +79,27 @@ class Finding:
         """Whether the finding still gates (not suppressed, not baselined)."""
         return not (self.suppressed or self.baselined)
 
-    def fingerprint(self) -> str:
-        """Line-independent identity used by the baseline file.
+    def normalized_snippet(self) -> str:
+        """The anchored source line with whitespace collapsed.
 
-        Hashes code, path and message (not the line number), so baselined
-        findings survive unrelated edits that shift lines.
+        Normalization makes the fingerprint robust to re-indentation
+        and formatting-only edits; an empty snippet (whole-file or
+        out-of-source findings) falls back to the message text so every
+        finding still fingerprints deterministically.
         """
-        body = f"{self.code}|{self.path}|{self.message}"
+        collapsed = " ".join(self.snippet.split())
+        return collapsed if collapsed else self.message
+
+    def fingerprint(self) -> str:
+        """Content-based identity used by the baseline file.
+
+        Hashes rule code, file path and the *normalized source snippet*
+        — not the line number and not the message — so baselined
+        findings survive unrelated edits above them (line shifts) and
+        message-wording tweaks, and re-arm only when the offending code
+        itself changes.
+        """
+        body = f"{self.code}|{self.path}|{self.normalized_snippet()}"
         return hashlib.sha256(body.encode()).hexdigest()[:16]
 
     def render(self) -> str:
@@ -102,11 +121,14 @@ class AnalysisReport:
 
     ``checks`` counts rule×file evaluations performed (project rules count
     once each), so "zero findings" is distinguishable from "nothing ran".
+    ``duration_seconds`` is the analysis wall time — the CI gate budgets
+    it so the whole-program passes cannot silently rot lint latency.
     """
 
     findings: tuple[Finding, ...] = ()
     files: int = 0
     checks: int = 0
+    duration_seconds: float = 0.0
 
     def __iter__(self) -> Iterator[Finding]:
         return iter(self.findings)
@@ -160,7 +182,8 @@ class AnalysisReport:
         head = (
             f"repro lint: {status} ({c['files']} files, {c['checks']} checks, "
             f"{c['errors']} errors, {c['warnings']} warnings, "
-            f"{c['suppressed']} suppressed, {c['baselined']} baselined)"
+            f"{c['suppressed']} suppressed, {c['baselined']} baselined, "
+            f"wall time {self.duration_seconds:.2f}s)"
         )
         shown = self.findings if show_silenced else self.active
         ordered = sorted(shown, key=lambda f: (f.path, f.line, f.code))

@@ -21,11 +21,14 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from .codes import RULE_PACKS, RULE_TITLES
 from .findings import Finding, severity_of
 from .suppressions import Suppression, parse_suppressions
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .callgraph import CallGraph
 
 
 @dataclass(frozen=True)
@@ -50,14 +53,22 @@ class SourceFile:
         )
 
     def finding(self, code: str, node: ast.AST | int, message: str) -> Finding:
-        """Build a finding anchored to an AST node (or raw line number)."""
+        """Build a finding anchored to an AST node (or raw line number).
+
+        The anchored source line rides along as the finding's snippet,
+        which is what the content-addressed baseline fingerprint hashes
+        (so findings survive edits that merely move them).
+        """
         line = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        lines = self.source.splitlines()
+        snippet = lines[line - 1] if 1 <= line <= len(lines) else ""
         return Finding(
             code=code,
             path=self.relpath,
             line=line,
             message=message,
             severity=severity_of(code),
+            snippet=snippet,
         )
 
 
@@ -84,14 +95,42 @@ class Project:
             return None
 
     def finding(self, code: str, relpath: str, line: int, message: str) -> Finding:
-        """Build a finding anchored to an arbitrary project file/line."""
+        """Build a finding anchored to an arbitrary project file/line.
+
+        When ``relpath`` names an analyzed source file, the anchored
+        line's text rides along as the finding's snippet (the basis of
+        the content-addressed baseline fingerprint).
+        """
+        snippet = ""
+        for file in self.files:
+            if file.relpath == relpath:
+                lines = file.source.splitlines()
+                if 1 <= line <= len(lines):
+                    snippet = lines[line - 1]
+                break
         return Finding(
             code=code,
             path=relpath,
             line=line,
             message=message,
             severity=severity_of(code),
+            snippet=snippet,
         )
+
+    def callgraph(self) -> "CallGraph":
+        """The project-wide call graph, built once and cached.
+
+        Both interprocedural packs (unit-flow and determinism-
+        reachability) share the same graph, so it is memoized on the
+        project instance.
+        """
+        from .callgraph import build_callgraph
+
+        cached: "CallGraph | None" = getattr(self, "_callgraph_cache", None)
+        if cached is None:
+            cached = build_callgraph(self)
+            object.__setattr__(self, "_callgraph_cache", cached)
+        return cached
 
 
 #: Checker signature: file-scope rules take a SourceFile, project-scope
@@ -162,9 +201,21 @@ def rule(code: str, scope: str = "file") -> Callable[[Checker], Checker]:
 
 def all_rules() -> RuleRegistry:
     """Import the rule packs and return the populated registry."""
-    from . import determinism_rules, obs_rules, registry_rules, unit_rules
+    from . import (
+        determinism_rules,
+        obs_rules,
+        reach_rules,
+        registry_rules,
+        unit_rules,
+        unitflow,
+    )
 
     assert (
-        determinism_rules and obs_rules and registry_rules and unit_rules
+        determinism_rules
+        and obs_rules
+        and reach_rules
+        and registry_rules
+        and unit_rules
+        and unitflow
     )  # imported to register
     return REGISTRY

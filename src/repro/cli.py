@@ -453,8 +453,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     if args.format == "json":
         print(json.dumps(lint_payload(report), indent=2, sort_keys=True))
+    elif args.format == "sarif":
+        from .report.sarif import sarif_payload
+
+        print(json.dumps(sarif_payload(report), indent=2, sort_keys=True))
     else:
         print(report.render(show_silenced=args.show_silenced))
+    if args.max_seconds is not None and report.duration_seconds > args.max_seconds:
+        print(
+            f"error: lint wall time {report.duration_seconds:.2f}s exceeds "
+            f"the --max-seconds {args.max_seconds:g}s budget",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if report.ok(strict=args.strict) else 1
 
 
@@ -735,14 +746,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="output format (json uses the shared repro-diagnostics/1 schema)",
+        help=(
+            "output format (json uses the shared repro-diagnostics/1 "
+            "schema; sarif emits SARIF 2.1.0 for code-scanning UIs)"
+        ),
     )
     p.add_argument(
         "--strict",
         action="store_true",
         help="fail on warnings too, not only errors (the CI gate)",
+    )
+    p.add_argument(
+        "--max-seconds",
+        type=float,
+        metavar="N",
+        help="fail when analysis wall time exceeds N seconds (the CI budget)",
     )
     p.add_argument("--baseline", metavar="FILE", help="baseline file to apply")
     p.add_argument(

@@ -100,15 +100,15 @@ stats = CacheStats()  # repro: noqa[R015] -- per-process counters by design; wor
 
 def cache_enabled() -> bool:
     """Whether the persistent cache is active (``REPRO_NO_CACHE`` unset)."""
-    return not os.environ.get(ENV_NO_CACHE)  # repro: noqa[R011] -- documented cache kill-switch, affects speed only
+    return not os.environ.get(ENV_NO_CACHE)  # repro: noqa[R011,R051] -- documented cache kill-switch, affects speed only; reachable from plan_cached but never enters keys or results
 
 
 def cache_dir() -> Path:
     """The active cache directory (not necessarily existing yet)."""
-    override = os.environ.get(ENV_CACHE_DIR)  # repro: noqa[R011] -- documented cache location knob, affects placement only
+    override = os.environ.get(ENV_CACHE_DIR)  # repro: noqa[R011,R051] -- documented cache location knob, affects placement only; reachable from plan_cached but never enters keys or results
     if override:
         return Path(override)
-    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")  # repro: noqa[R011] -- XDG convention for cache placement, never results
+    base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")  # repro: noqa[R011,R051] -- XDG convention for cache placement, never results; reachable from plan_cached but never enters keys or results
     return Path(base) / "repro" / f"plans-v{CACHE_SCHEMA_VERSION}"
 
 

@@ -231,6 +231,136 @@ def validate_payload(payload: Any) -> list[str]:
 
 
 # ----------------------------------------------------------------------
+# SARIF 2.1.0 (the repro lint --format sarif export)
+# ----------------------------------------------------------------------
+
+_SARIF_LEVELS = ("error", "warning", "note", "none")
+_SARIF_SUPPRESSION_KINDS = ("inSource", "external")
+
+
+def _validate_sarif_result(
+    entry: Any, rule_ids: set[str], where: str, problems: list[str]
+) -> None:
+    if not isinstance(entry, dict):
+        problems.append(f"{where} is not an object")
+        return
+    rule_id = entry.get("ruleId")
+    if not isinstance(rule_id, str):
+        problems.append(f"{where}.ruleId must be a string")
+    elif rule_ids and rule_id not in rule_ids:
+        problems.append(f"{where}.ruleId {rule_id!r} not in tool.driver.rules")
+    if entry.get("level") not in _SARIF_LEVELS:
+        problems.append(f"{where}.level must be one of {_SARIF_LEVELS}")
+    message = entry.get("message")
+    if not (isinstance(message, dict) and isinstance(message.get("text"), str)):
+        problems.append(f"{where}.message.text must be a string")
+    locations = entry.get("locations")
+    if not isinstance(locations, list) or not locations:
+        problems.append(f"{where}.locations must be a non-empty list")
+        locations = []
+    for j, loc in enumerate(locations):
+        lwhere = f"{where}.locations[{j}]"
+        physical = loc.get("physicalLocation") if isinstance(loc, dict) else None
+        if not isinstance(physical, dict):
+            problems.append(f"{lwhere}.physicalLocation is not an object")
+            continue
+        artifact = physical.get("artifactLocation")
+        if not (
+            isinstance(artifact, dict) and isinstance(artifact.get("uri"), str)
+        ):
+            problems.append(f"{lwhere} artifactLocation.uri must be a string")
+        region = physical.get("region")
+        if region is not None:
+            start = region.get("startLine") if isinstance(region, dict) else None
+            if not isinstance(start, int) or isinstance(start, bool) or start < 1:
+                problems.append(f"{lwhere}.region.startLine must be a positive int")
+    fingerprints = entry.get("partialFingerprints")
+    if fingerprints is not None and not (
+        isinstance(fingerprints, dict)
+        and all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in fingerprints.items()
+        )
+    ):
+        problems.append(f"{where}.partialFingerprints must map strings to strings")
+    suppressions = entry.get("suppressions")
+    if suppressions is not None:
+        if not isinstance(suppressions, list):
+            problems.append(f"{where}.suppressions must be a list")
+        else:
+            for j, supp in enumerate(suppressions):
+                if (
+                    not isinstance(supp, dict)
+                    or supp.get("kind") not in _SARIF_SUPPRESSION_KINDS
+                ):
+                    problems.append(
+                        f"{where}.suppressions[{j}].kind must be one of "
+                        f"{_SARIF_SUPPRESSION_KINDS}"
+                    )
+
+
+def validate_sarif_payload(payload: Any) -> list[str]:
+    """Structural validation of a SARIF 2.1.0 lint export.
+
+    Returns a list of problems (empty = valid).  This is the executable
+    subset of the SARIF 2.1.0 schema the project relies on: version
+    pinning, the tool driver with per-rule metadata, and results with
+    physical locations, fingerprints and suppressions.  The regression
+    suite feeds ``repro lint --format sarif`` output through it, so the
+    exporter cannot drift from what scanning UIs ingest.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("version") != "2.1.0":
+        problems.append(f"version must be '2.1.0', got {payload.get('version')!r}")
+    runs = payload.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return [*problems, "runs must be a non-empty list"]
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver") if isinstance(
+            run.get("tool"), dict
+        ) else None
+        rule_ids: set[str] = set()
+        if not isinstance(driver, dict):
+            problems.append(f"{where}.tool.driver is not an object")
+        else:
+            if not isinstance(driver.get("name"), str):
+                problems.append(f"{where}.tool.driver.name must be a string")
+            rules = driver.get("rules", [])
+            if not isinstance(rules, list):
+                problems.append(f"{where}.tool.driver.rules must be a list")
+                rules = []
+            for j, rule_entry in enumerate(rules):
+                rwhere = f"{where}.tool.driver.rules[{j}]"
+                if not isinstance(rule_entry, dict) or not isinstance(
+                    rule_entry.get("id"), str
+                ):
+                    problems.append(f"{rwhere}.id must be a string")
+                    continue
+                rule_ids.add(rule_entry["id"])
+                short = rule_entry.get("shortDescription")
+                if not (
+                    isinstance(short, dict)
+                    and isinstance(short.get("text"), str)
+                ):
+                    problems.append(f"{rwhere}.shortDescription.text must be a string")
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be a list")
+            continue
+        for j, entry in enumerate(results):
+            _validate_sarif_result(
+                entry, rule_ids, f"{where}.results[{j}]", problems
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
 # repro-telemetry/1 (the obs exporter's Chrome-trace + metrics payload)
 # ----------------------------------------------------------------------
 

@@ -510,7 +510,7 @@ def test_baselined_findings_do_not_gate(tmp_path: Path) -> None:
 def test_committed_baseline_is_empty() -> None:
     """Repo policy: the tree ships lint-clean, the baseline stays empty."""
     raw = json.loads((REPO_ROOT / "lint-baseline.json").read_text())
-    assert raw == {"schema": 1, "entries": []}
+    assert raw == {"schema": 2, "entries": []}
 
 
 # ----------------------------------------------------------------------
