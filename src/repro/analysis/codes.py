@@ -32,7 +32,8 @@ Catalog overview
 * ``R050``–``R053`` — the **determinism-reachability** pack (project
   scope): the whole-program upgrade of R010–R015.  Starting from the
   determinism roots (cache-key construction, pool-worker entry points,
-  ``plan_cached``), any *transitively reachable* nondeterminism source
+  ``plan_cached``, ``handle_*`` serve endpoint handlers), any
+  *transitively reachable* nondeterminism source
   is flagged with its call chain.
 """
 
@@ -208,9 +209,10 @@ RULE_DESCRIPTIONS: dict[str, str] = {
     "R050": (
         "No nondeterministic call (RNG, wall clock, pid, uuid) may be "
         "transitively reachable from a determinism root — cache-key "
-        "construction, a pool-worker entry point, or ``plan_cached`` — "
-        "because one nondeterministic frame anywhere in the chain forks "
-        "cache keys or worker outputs for identical inputs."
+        "construction, a pool-worker entry point, ``plan_cached``, or a "
+        "``handle_*`` serve endpoint handler — because one "
+        "nondeterministic frame anywhere in the chain forks cache keys, "
+        "worker outputs, or served payloads for identical inputs."
     ),
     "R051": (
         "No ambient environment read may be transitively reachable "

@@ -17,7 +17,11 @@ Roots
   persisted under those keys;
 * **pool-worker entry points** — functions submitted to a process pool
   or installed as its ``initializer=`` (they run in worker processes
-  whose outputs feed the shared cache).
+  whose outputs feed the shared cache);
+* **serve request handlers** — functions named ``handle_*`` (the
+  ``repro serve`` endpoint contract): their responses are served from
+  and stored into the shared plan cache, so anything nondeterministic
+  they can reach would leak divergent payloads to clients.
 
 Rules
 -----
@@ -164,8 +168,18 @@ class ReachAnalysis:
             if info.name == "plan_cached"
         }
         self.worker_roots = self._collect_worker_roots(project, resolver)
+        self.serve_roots = {
+            qualname
+            for qualname, info in graph.functions.items()
+            if info.name.startswith("handle_")
+        }
 
-        all_roots = self.key_roots | self.cache_roots | self.worker_roots
+        all_roots = (
+            self.key_roots
+            | self.cache_roots
+            | self.worker_roots
+            | self.serve_roots
+        )
         #: reached qualname → witness chain, from every root.
         self.reach_all = graph.reachable_from(all_roots)
         #: reached qualname → witness chain, from the cache-key path only.

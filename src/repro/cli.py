@@ -13,6 +13,9 @@ Usage::
     python -m repro experiments fig5 table3        # regenerate paper artifacts
     python -m repro verify --all --format json     # V0xx plan invariants
     python -m repro lint src/repro --strict        # R0xx source lint
+    python -m repro serve --port 8077 --jobs 2     # planning-as-a-service daemon
+    python -m repro cache stats                    # shared plan-cache stats
+    python -m repro bench serve --clients 4        # daemon load generator
 
 Model arguments accept either a zoo name or a path to a JSON model
 description (the Fig. 4 input format, see ``repro.nn.io``).
@@ -21,6 +24,7 @@ description (the Fig. 4 input format, see ``repro.nn.io``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -630,6 +634,108 @@ def cmd_experiments(args: argparse.Namespace) -> int:
     return experiments_main(forwarded)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the planning-as-a-service daemon until SIGINT/SIGTERM.
+
+    ``--cache-max-mb`` exports ``REPRO_CACHE_MAX_MB`` before boot, so
+    the LRU cap applies in the daemon process and every pool worker.
+    """
+    from .serve.server import run_server
+
+    if args.cache_max_mb is not None:
+        from .experiments.cache import ENV_CACHE_MAX_MB
+
+        os.environ[ENV_CACHE_MAX_MB] = str(args.cache_max_mb)
+    return run_server(args.host, args.port, jobs=args.jobs)
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or manage the shared on-disk plan cache."""
+    from .arch.units import mib
+    from .experiments import cache
+
+    if args.action == "clear":
+        removed = cache.entry_count()
+        cache.clear()
+        print(f"cache cleared: {removed} entries removed from {cache.cache_dir()}")
+        return 0
+    if args.action == "prune":
+        if args.max_mb is None:
+            print("repro cache prune: --max-mb is required", file=sys.stderr)
+            return 2
+        result = cache.prune(mib(args.max_mb))
+        print(
+            f"pruned {result.evicted_count} entries "
+            f"({to_mib(result.evicted_bytes):.2f} MiB); "
+            f"{result.remaining_count} remain "
+            f"({to_mib(result.remaining_bytes):.2f} MiB)"
+        )
+        return 0
+    counters = cache.stats.snapshot()
+    cap = cache.cache_max_bytes()
+    table = Table(
+        title="Plan cache",
+        headers=["Field", "Value"],
+    )
+    table.add_row("dir", str(cache.cache_dir()))
+    table.add_row("enabled", cache.cache_enabled())
+    table.add_row("schema version", cache.CACHE_SCHEMA_VERSION)
+    table.add_row("entries", cache.entry_count())
+    table.add_row("total KiB", round(to_kib(cache.total_bytes()), 1))
+    table.add_row("max MiB", "unbounded" if cap is None else round(to_mib(cap), 1))
+    for name in ("hits", "misses", "stores", "evictions"):
+        table.add_row(f"{name} (this process)", counters[name])
+    print(table.render())
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    """Load-generate against a daemon and write ``BENCH_serve.json``.
+
+    Exits non-zero if any request failed or any served payload differed
+    from the direct in-process computation (byte-identity check).
+    """
+    from .serve import loadgen
+
+    models = (
+        tuple(args.models.split(",")) if args.models else loadgen.DEFAULT_MODELS
+    )
+    glb_kb = (
+        tuple(int(to_kib(size)) for size in _parse_glb_list(args.glb))
+        if args.glb
+        else loadgen.DEFAULT_GLB_KB
+    )
+    report = loadgen.bench_serve(
+        clients=args.clients,
+        requests=args.requests,
+        seed=args.seed,
+        url=args.url,
+        jobs=args.jobs,
+        models=models,
+        glb_kb=glb_kb,
+        verify=not args.no_verify,
+        out=args.out,
+    )
+    latency = report.latency_summary()
+    table = Table(
+        title=f"repro bench serve (clients={report.clients}, seed={report.seed})",
+        headers=["Metric", "Value"],
+    )
+    table.add_row("url", report.url)
+    table.add_row("requests", report.total)
+    table.add_row("ok / errors", f"{report.ok_count} / {report.error_count}")
+    table.add_row("cache hit-rate", round(report.hit_rate, 3))
+    table.add_row("byte-identical", report.byte_identical)
+    table.add_row("latency p50 (s)", round(latency["p50"], 4))
+    table.add_row("latency p99 (s)", round(latency["p99"], 4))
+    table.add_row("latency mean (s)", round(latency["mean"], 4))
+    table.add_row("throughput (req/s)", round(report.throughput_rps, 2))
+    print(table.render())
+    if args.out:
+        print(f"wrote {args.out}")
+    return 0 if (report.error_count == 0 and report.byte_identical) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command tree."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -819,6 +925,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the run's merged metric counters",
     )
     p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("serve", help="planning-as-a-service HTTP daemon")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8077, help="TCP port (0 = ephemeral)")
+    p.add_argument(
+        "--jobs", "-j", type=int, default=0, metavar="N",
+        help="worker processes (default 0 = execute in request threads)",
+    )
+    p.add_argument(
+        "--cache-max-mb", type=int, metavar="MB",
+        help="LRU-evict the shared plan cache above this size",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("cache", help="inspect or manage the shared plan cache")
+    p.add_argument("action", choices=("stats", "clear", "prune"))
+    p.add_argument(
+        "--max-mb", type=int, metavar="MB",
+        help="prune target size (required for 'prune')",
+    )
+    p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("bench", help="performance benchmarks")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    b = bench_sub.add_parser("serve", help="seeded load generator for the daemon")
+    b.add_argument("--clients", type=int, default=4, help="concurrent client threads")
+    b.add_argument("--requests", type=int, default=24, help="total requests to send")
+    b.add_argument("--seed", type=int, default=0, help="traffic-mix seed")
+    b.add_argument(
+        "--url", help="target an already-running daemon (default: boot one in-process)"
+    )
+    b.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="worker processes for the in-process daemon",
+    )
+    b.add_argument("--models", metavar="A,B", help="comma-separated zoo model names")
+    b.add_argument("--glb", metavar="KB,KB", help="comma-separated GLB sizes in kB")
+    b.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the byte-identity check against in-process planning",
+    )
+    b.add_argument(
+        "--out", default="BENCH_serve.json", metavar="FILE",
+        help="perf record path (default BENCH_serve.json)",
+    )
+    b.set_defaults(func=cmd_bench_serve)
 
     return parser
 

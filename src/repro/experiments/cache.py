@@ -35,6 +35,19 @@ Environment
     Any non-empty value disables the on-disk cache entirely (every lookup
     is a miss and nothing is written).  Both variables are inherited by
     the engine's worker processes.
+``REPRO_CACHE_MAX_MB``
+    Size cap in MiB.  When set, every store checks the total on-disk
+    size and evicts least-recently-used entries past the cap through the
+    journal-backed index in :mod:`repro.serve.cache_index` (the entry
+    just written is never evicted by its own store).  Unset means
+    unbounded, the historical behavior.
+
+Eviction / recency
+------------------
+Recency is tracked by an append-only journal (one ``O_APPEND`` line per
+store or hit) that survives concurrent writers; see
+:mod:`repro.serve.cache_index` for the index design and its crash /
+race semantics.  ``repro cache stats|clear|prune`` is the CLI surface.
 """
 
 from __future__ import annotations
@@ -49,8 +62,10 @@ from pathlib import Path
 from typing import Any, Callable, TypeVar
 
 from ..arch.spec import AcceleratorSpec
+from ..arch.units import mib
 from ..nn.model import Model
 from ..obs import metrics_registry
+from ..serve.cache_index import CacheIndex, PruneResult
 
 T = TypeVar("T")
 
@@ -65,24 +80,33 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 #: Environment variable disabling the persistent cache when non-empty.
 ENV_NO_CACHE = "REPRO_NO_CACHE"
 
+#: Environment variable capping the cache size in MiB (LRU eviction).
+ENV_CACHE_MAX_MB = "REPRO_CACHE_MAX_MB"
+
 _SENTINEL = object()
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for the current process."""
+    """Hit/miss/store/eviction counters for the current process."""
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.hits = self.misses = self.stores = 0
+        self.hits = self.misses = self.stores = self.evictions = 0
 
     def snapshot(self) -> dict[str, int]:
         """Return the counters as a plain (picklable) dict."""
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
 
     def add(self, other: "CacheStats | dict[str, int]") -> None:
         """Accumulate another counter set (e.g. a worker's snapshot)."""
@@ -91,6 +115,7 @@ class CacheStats:
         self.hits += other.get("hits", 0)
         self.misses += other.get("misses", 0)
         self.stores += other.get("stores", 0)
+        self.evictions += other.get("evictions", 0)
 
 
 #: Process-wide counters; worker processes each get their own copy and the
@@ -110,6 +135,28 @@ def cache_dir() -> Path:
         return Path(override)
     base = os.environ.get("XDG_CACHE_HOME") or str(Path.home() / ".cache")  # repro: noqa[R011,R051] -- XDG convention for cache placement, never results; reachable from plan_cached but never enters keys or results
     return Path(base) / "repro" / f"plans-v{CACHE_SCHEMA_VERSION}"
+
+
+def cache_max_bytes() -> int | None:
+    """The configured size cap in bytes, or ``None`` for unbounded.
+
+    Read from ``REPRO_CACHE_MAX_MB``; non-numeric or non-positive values
+    are treated as unset.  Affects only retention (what gets recomputed),
+    never the bytes of any result.
+    """
+    raw = os.environ.get(ENV_CACHE_MAX_MB)  # repro: noqa[R011,R051] -- documented retention knob, affects eviction only; reachable from plan_cached but never enters keys or results
+    if not raw:
+        return None
+    try:
+        max_mb = int(raw)
+    except ValueError:
+        return None
+    return mib(max_mb) if max_mb > 0 else None
+
+
+def index() -> CacheIndex:
+    """The LRU journal index for the active cache directory."""
+    return CacheIndex(cache_dir())
 
 
 # ----------------------------------------------------------------------
@@ -229,7 +276,13 @@ def load(key: str) -> Any:
 
 
 def store(key: str, value: Any) -> None:
-    """Atomically persist ``value`` under ``key`` (no-op when disabled)."""
+    """Atomically persist ``value`` under ``key`` (no-op when disabled).
+
+    The write lands via ``mkstemp`` + ``os.replace`` so readers only ever
+    see complete entries; the LRU journal records the store, and when
+    ``REPRO_CACHE_MAX_MB`` caps the cache, least-recently-used entries
+    beyond the cap are evicted (never the entry just written).
+    """
     if not cache_enabled():
         return
     path = _entry_path(key)
@@ -246,24 +299,64 @@ def store(key: str, value: Any) -> None:
             os.unlink(tmp)
         except OSError:
             pass
+        return
+    idx = index()
+    try:
+        size_bytes = path.stat().st_size
+    except OSError:
+        size_bytes = 0
+    idx.record(key, size_bytes)
+    cap_bytes = cache_max_bytes()
+    if cap_bytes is not None and idx.total_bytes() > cap_bytes:
+        _count_eviction(idx.prune(cap_bytes, keep=frozenset((key,))))
 
 
-def fetch(key: str, compute: Callable[[], T]) -> T:
-    """Return the cached value for ``key``, computing and storing on miss."""
+def _count_eviction(result: PruneResult) -> PruneResult:
+    """Fold one prune outcome into the process counters/metrics."""
+    if result.evicted_count:
+        stats.evictions += result.evicted_count
+        metrics_registry().counter("plan_cache_evictions_count").add(
+            result.evicted_count
+        )
+    return result
+
+
+def lookup(key: str) -> tuple[bool, Any]:
+    """Cache probe with counters: ``(hit, value)`` (value=None on miss).
+
+    A hit touches the LRU journal so recency survives across processes.
+    This is the primitive :func:`fetch`,
+    :meth:`repro.manager.MemoryManager.plan_cached` and the serve
+    handlers share, so all of them agree on what counts as a hit.
+    """
     cached = load(key)
     if cached is not _SENTINEL:
         stats.hits += 1
         metrics_registry().counter("plan_cache_hits_count").add(1)
-        return cached  # type: ignore[no-any-return]
+        index().record(key, 0)  # size backfilled from disk at reconcile
+        return True, cached
     stats.misses += 1
     metrics_registry().counter("plan_cache_misses_count").add(1)
+    return False, None
+
+
+def fetch(key: str, compute: Callable[[], T]) -> T:
+    """Return the cached value for ``key``, computing and storing on miss."""
+    hit, cached = lookup(key)
+    if hit:
+        return cached  # type: ignore[no-any-return]
     value = compute()
     store(key, value)
     return value
 
 
+def prune(max_bytes: int) -> PruneResult:
+    """Evict LRU entries until the cache fits ``max_bytes``."""
+    return _count_eviction(index().prune(max_bytes))
+
+
 def clear() -> int:
-    """Delete every cache entry; returns the number of entries removed."""
+    """Delete every cache entry (and the LRU journal); returns the count."""
     root = cache_dir()
     removed = 0
     if not root.is_dir():
@@ -274,6 +367,7 @@ def clear() -> int:
             removed += 1
         except OSError:
             pass
+    index().clear()
     return removed
 
 
@@ -281,3 +375,8 @@ def entry_count() -> int:
     """Number of entries currently on disk."""
     root = cache_dir()
     return sum(1 for _ in root.rglob("*.pkl")) if root.is_dir() else 0
+
+
+def total_bytes() -> int:
+    """Total size of all cache entries on disk."""
+    return index().total_bytes()

@@ -140,9 +140,37 @@ class MemoryManager:
         The key covers the model's full layer-dimension digest, every
         spec field (``data_width_bits`` and DRAM configuration included)
         and all planning flags, so any change to the inputs is a cache
-        miss.  Keys are shared with :mod:`repro.experiments.common` —
-        serving a plan here warms the experiment suite and vice versa.
-        Set ``REPRO_NO_CACHE=1`` to force recomputation.
+        miss.  Keys are shared with :mod:`repro.experiments.common` and
+        with the ``repro serve`` daemon — serving a plan anywhere warms
+        every other entry point.  Set ``REPRO_NO_CACHE=1`` to force
+        recomputation.
+        """
+        plan, _hit, _key = self.plan_cached_detail(
+            model,
+            objective,
+            scheme=scheme,
+            prefetch=prefetch,
+            interlayer=interlayer,
+            interlayer_mode=interlayer_mode,
+        )
+        return plan
+
+    def plan_cached_detail(
+        self,
+        model: Model,
+        objective: Objective = Objective.ACCESSES,
+        *,
+        scheme: str = "het",
+        prefetch: bool = True,
+        interlayer: bool = False,
+        interlayer_mode: str = "opportunistic",
+    ) -> tuple[ExecutionPlan, bool, str]:
+        """:meth:`plan_cached` plus cache observability.
+
+        Returns ``(plan, cache_hit, cache_key)``.  The serve layer uses
+        the extra fields to report per-request hit flags (the load
+        generator's hit-rate metric) and content-addressed keys without
+        racing the process-wide counters under concurrent requests.
         """
         from .experiments import cache
 
@@ -159,23 +187,24 @@ class MemoryManager:
         with get_tracer().start(
             "plan_cached", model=model.name, scheme=scheme
         ) as span:
-            hits_before = cache.stats.hits
-            plan = cache.fetch(
-                key,
-                lambda: self.plan(
+            hit, cached = cache.lookup(key)
+            if hit:
+                plan: ExecutionPlan = cached
+            else:
+                plan = self.plan(
                     model,
                     objective,
                     scheme=scheme,
                     prefetch=prefetch,
                     interlayer=interlayer,
                     interlayer_mode=interlayer_mode,
-                ),
-            )
-            span.set_attr("cache_hit", cache.stats.hits > hits_before)
+                )
+                cache.store(key, plan)
+            span.set_attr("cache_hit", hit)
         metrics_registry().histogram("plan_cached_seconds").observe(
             clock.elapsed_seconds(start_ns)
         )
-        return plan
+        return plan, hit, key
 
     def verify(self, plan: ExecutionPlan) -> VerificationReport:
         """Statically verify a plan against the invariant catalog.

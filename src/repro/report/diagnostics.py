@@ -60,6 +60,15 @@ SCHEMA_ID = "repro-diagnostics/1"
 #: regression test pins it to :data:`repro.obs.export.TELEMETRY_SCHEMA`.
 TELEMETRY_SCHEMA_ID = "repro-telemetry/1"
 
+#: Identifier of the serving protocol schema.  Same literal-pinning
+#: arrangement: a regression test ties it to
+#: :data:`repro.serve.protocol.SERVE_SCHEMA_ID`.
+SERVE_SCHEMA_ID = "repro-serve/1"
+
+#: Endpoints a serve envelope may name (mirrors
+#: :data:`repro.serve.protocol.ENDPOINTS`, pinned by the same test).
+SERVE_ENDPOINTS = ("health", "models", "stats", "plan", "explain", "simulate")
+
 _CODE_RE = re.compile(r"^[VR]\d{3}$")
 _SEVERITIES = ("error", "warning")
 _LOCATION_KEYS = ("file", "line", "subject", "layer", "policy")
@@ -463,4 +472,49 @@ def validate_telemetry_payload(payload: Any) -> list[str]:
         for i, entry in enumerate(events):
             _validate_trace_event(entry, f"traceEvents[{i}]", problems)
     _validate_metrics(payload.get("metrics"), problems)
+    return problems
+
+
+def validate_serve_payload(payload: Any) -> list[str]:
+    """Structural validation of a ``repro-serve/1`` response envelope.
+
+    Returns a list of problems (empty = valid).  This function *is* the
+    serving schema: the serve test suite feeds live daemon responses —
+    successes and every structured error — through it, so the HTTP layer
+    cannot drift from the documented envelope without a test failure.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != SERVE_SCHEMA_ID:
+        problems.append(
+            f"schema must be {SERVE_SCHEMA_ID!r}, got {payload.get('schema')!r}"
+        )
+    ok = payload.get("ok")
+    if not isinstance(ok, bool):
+        problems.append("ok must be a boolean")
+    endpoint = payload.get("endpoint")
+    if not isinstance(endpoint, str):
+        problems.append("endpoint must be a string")
+    result = payload.get("result")
+    error = payload.get("error")
+    if ok is True:
+        if not isinstance(result, dict):
+            problems.append("ok envelopes must carry a result object")
+        if error is not None:
+            problems.append("ok envelopes must have error = null")
+        if isinstance(endpoint, str) and endpoint not in SERVE_ENDPOINTS:
+            problems.append(
+                f"ok envelopes must name a known endpoint, got {endpoint!r}"
+            )
+    elif ok is False:
+        if result is not None:
+            problems.append("error envelopes must have result = null")
+        if not isinstance(error, dict):
+            problems.append("error envelopes must carry an error object")
+        else:
+            if not (isinstance(error.get("code"), str) and error["code"]):
+                problems.append("error.code must be a non-empty string")
+            if not isinstance(error.get("message"), str):
+                problems.append("error.message must be a string")
     return problems

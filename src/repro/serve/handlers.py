@@ -1,0 +1,245 @@
+"""Endpoint handlers: validated request params → response payloads.
+
+Each ``handle_<endpoint>`` function is pure with respect to its inputs
+(same request, same cache state → same payload bytes) and HTTP-free, so
+the same code path serves three callers:
+
+* the daemon's worker pool (:func:`execute` is the module-level function
+  :class:`~repro.serve.server.ReproServer` submits, hence picklable),
+* in-process dispatch (``--jobs 0``) and unit tests,
+* the load generator's byte-identity oracle (it computes the expected
+  payload by calling the handler directly and compares it against the
+  served bytes).
+
+The ``handle_`` prefix is a naming contract: the determinism-
+reachability lint (R050–R053) treats every ``handle_*`` function as a
+root, so any nondeterministic call that becomes reachable from a serve
+endpoint is flagged with a witness chain in ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Callable
+
+from ..analyzer import Objective
+from ..analyzer.export import plan_to_dict
+from ..arch.spec import AcceleratorSpec
+from ..arch.units import kib
+from ..manager import MemoryManager
+from ..nn.zoo import ALL_MODEL_NAMES, get_model
+from .protocol import (
+    ENDPOINTS,
+    ProtocolError,
+    PlanRequest,
+    error_response,
+    ok_response,
+    parse_plan_request,
+)
+
+
+def _resolve_model_name(name: str) -> str:
+    """Map a request's model name onto the zoo (case-insensitive)."""
+    canonical = {known.lower(): known for known in ALL_MODEL_NAMES}.get(
+        name.lower()
+    )
+    if canonical is None:
+        raise ProtocolError(
+            "unknown-model",
+            f"unknown model {name!r}; available: {', '.join(ALL_MODEL_NAMES)}",
+            http_status=404,
+        )
+    return canonical
+
+
+def _canonical_request(params: Any) -> PlanRequest:
+    """Parse and normalize a request (model name in canonical zoo case).
+
+    Normalizing here means the echoed ``result["request"]`` — and hence
+    the full response payload — is identical however the client cased
+    the model name.
+    """
+    request = parse_plan_request(params)
+    return replace(request, model=_resolve_model_name(request.model))
+
+
+def _spec_for(request: PlanRequest) -> AcceleratorSpec:
+    """The accelerator spec a request describes."""
+    return AcceleratorSpec(
+        glb_bytes=kib(request.glb_kb),
+        data_width_bits=request.data_width_bits,
+        ops_per_cycle=request.ops_per_cycle,
+        dram_bandwidth_elems_per_cycle=request.dram_bandwidth_elems_per_cycle,
+    )
+
+
+def handle_health(params: Any = None) -> dict[str, Any]:
+    """Liveness probe: daemon status and cache configuration."""
+    from ..experiments import cache
+
+    return {
+        "status": "ok",
+        "cache_enabled": cache.cache_enabled(),
+        "cache_schema_version": cache.CACHE_SCHEMA_VERSION,
+    }
+
+
+def handle_models(params: Any = None) -> dict[str, Any]:
+    """The model registry: every zoo network with its headline stats."""
+    models = []
+    for name in ALL_MODEL_NAMES:
+        model = get_model(name)
+        models.append(
+            {
+                "name": name,
+                "layers": model.num_layers,
+                "macs": model.total_macs,
+                "weight_elems": model.total_weight_elems,
+            }
+        )
+    return {"models": models}
+
+
+def handle_stats(params: Any = None) -> dict[str, Any]:
+    """Shared-cache statistics: entries, bytes, this-process counters."""
+    from ..experiments import cache
+
+    return {
+        "cache": {
+            "enabled": cache.cache_enabled(),
+            "dir": str(cache.cache_dir()),
+            "schema_version": cache.CACHE_SCHEMA_VERSION,
+            "entries": cache.entry_count(),
+            "total_bytes": cache.total_bytes(),
+            "max_bytes": cache.cache_max_bytes(),
+            "counters": cache.stats.snapshot(),
+        }
+    }
+
+
+def handle_plan(params: Any) -> dict[str, Any]:
+    """Plan a model through the shared cache; the daemon's core endpoint.
+
+    The response's ``plan`` sub-object is byte-identical (under
+    :func:`~repro.serve.protocol.canonical_json`) to
+    ``plan_to_dict(MemoryManager(spec).plan_cached(...))`` for the same
+    request — the acceptance property the load generator asserts.
+    """
+    request = _canonical_request(params)
+    manager = MemoryManager(_spec_for(request))
+    try:
+        plan, hit, key = manager.plan_cached_detail(
+            get_model(request.model),
+            Objective(request.objective),
+            scheme=request.scheme,
+            prefetch=request.prefetch,
+            interlayer=request.interlayer,
+            interlayer_mode=request.interlayer_mode,
+        )
+    except (ValueError, KeyError) as exc:  # infeasible or unknown scheme
+        raise ProtocolError("bad-request", str(exc)) from exc
+    return {
+        "request": request.to_params(),
+        "plan": plan_to_dict(plan),
+        "cache": {"hit": hit, "key": key},
+    }
+
+
+def handle_explain(params: Any) -> dict[str, Any]:
+    """The planner's per-layer decision audit trail for one request."""
+    request = _canonical_request(params)
+    manager = MemoryManager(_spec_for(request))
+    try:
+        plan, hit, key = manager.plan_cached_detail(
+            get_model(request.model),
+            Objective(request.objective),
+            scheme=request.scheme,
+            prefetch=request.prefetch,
+            interlayer=request.interlayer,
+            interlayer_mode=request.interlayer_mode,
+        )
+    except (ValueError, KeyError) as exc:
+        raise ProtocolError("bad-request", str(exc)) from exc
+    return {
+        "request": request.to_params(),
+        "explain": plan.explain().to_payload(),
+        "cache": {"hit": hit, "key": key},
+    }
+
+
+def handle_simulate(params: Any) -> dict[str, Any]:
+    """Simulate the three fixed-partition baselines for one request.
+
+    Results go through the same content-addressed cache as the
+    experiment suite's ``baseline`` entries (identical keys), so a
+    daemon serving simulate traffic warms the Fig. 5/8 artifacts too.
+    """
+    from ..experiments import cache
+    from ..scalesim import SimulationResult, baseline_configs, simulate
+
+    request = _canonical_request(params)
+    model = get_model(request.model)
+    spec = _spec_for(request)
+    key = cache.make_key(
+        "baseline",
+        model=cache.model_digest(model),
+        spec=cache.spec_payload(spec),
+    )
+    hit, cached = cache.lookup(key)
+    if hit:
+        results: dict[str, SimulationResult] = dict(cached)
+    else:
+        configs = baseline_configs(
+            spec.glb_bytes, data_width_bits=spec.data_width_bits
+        )
+        results = {
+            label: simulate(model, config) for label, config in configs.items()
+        }
+        cache.store(key, results)
+    return {
+        "request": request.to_params(),
+        "baselines": {
+            label: {
+                "traffic_bytes": result.total_traffic_bytes,
+                "cycles": result.total_cycles,
+                "mean_utilization": result.mean_utilization,
+            }
+            for label, result in results.items()
+        },
+        "cache": {"hit": hit, "key": key},
+    }
+
+
+#: endpoint → handler (the daemon's and the pool's dispatch table).
+HANDLERS: dict[str, Callable[[Any], dict[str, Any]]] = {
+    "health": handle_health,
+    "models": handle_models,
+    "stats": handle_stats,
+    "plan": handle_plan,
+    "explain": handle_explain,
+    "simulate": handle_simulate,
+}
+
+
+def execute(endpoint: str, params: Any = None) -> tuple[int, dict[str, Any]]:
+    """Dispatch one request; returns ``(http_status, response_envelope)``.
+
+    Module-level (hence picklable) so :class:`ReproServer` can submit it
+    to the process pool; every failure mode becomes a structured
+    ``repro-serve/1`` error envelope, never a traceback on the wire.
+    """
+    if endpoint not in ENDPOINTS:
+        return 404, error_response(
+            endpoint,
+            "unknown-endpoint",
+            f"unknown endpoint {endpoint!r}; available: {', '.join(ENDPOINTS)}",
+        )
+    try:
+        result = HANDLERS[endpoint](params)
+    except ProtocolError as exc:
+        return exc.http_status, error_response(endpoint, exc.code, exc.message)
+    except Exception as exc:  # pragma: no cover - defensive boundary
+        return 500, error_response(
+            endpoint, "internal", f"{type(exc).__name__}: {exc}"
+        )
+    return 200, ok_response(endpoint, result)

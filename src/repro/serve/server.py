@@ -1,0 +1,234 @@
+"""The ``repro serve`` daemon: a threaded HTTP front over the planner.
+
+Architecture::
+
+    client ──HTTP──▶ ServeRequestHandler (thread per request)
+                        │  parse path/body → (endpoint, params)
+                        ▼
+                     ReproServer.dispatch
+                        │  --jobs 0: in-process   --jobs N: process pool
+                        ▼
+                     handlers.execute  →  (status, repro-serve/1 envelope)
+
+The daemon is deliberately stdlib-only (:mod:`http.server`); plans are
+milliseconds-to-seconds of CPU work, so a thread-per-request front with
+an optional :class:`~concurrent.futures.ProcessPoolExecutor` behind it
+(same worker initializer as the experiment engine) is the right shape —
+no event loop, no framework dependency.
+
+Graceful shutdown (:func:`run_server`): SIGINT/SIGTERM set an event; the
+serve loop stops accepting, in-flight request threads are joined
+(``daemon_threads = False`` + ``block_on_close = True``), the worker
+pool drains, the cache journal is compacted to a single atomic file, and
+the process exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from ..obs import clock, configure_worker, get_tracer, metrics_registry
+from .handlers import execute
+from .protocol import POST_ENDPOINTS, canonical_json, error_response
+
+#: Endpoints reachable with GET (read-only probes).
+GET_ENDPOINTS: tuple[str, ...] = ("health", "models", "stats")
+
+#: Largest request body the daemon will read, in bytes.
+MAX_BODY_BYTES = 1 << 20
+
+
+class ReproServer(ThreadingHTTPServer):
+    """Planning-as-a-service HTTP server with an optional worker pool.
+
+    ``port=0`` binds an ephemeral port (read it back from :attr:`port`).
+    ``jobs=0`` executes requests in the handler thread; ``jobs>0``
+    submits them to a :class:`ProcessPoolExecutor` whose workers share
+    the on-disk plan cache with the parent and with every other entry
+    point (CLI, experiment engine).
+    """
+
+    # Join in-flight request threads on server_close(): this is the
+    # drain half of graceful shutdown.
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, *, jobs: int = 0
+    ) -> None:
+        super().__init__((host, port), ServeRequestHandler)
+        self._pool: ProcessPoolExecutor | None = (
+            ProcessPoolExecutor(max_workers=jobs, initializer=configure_worker)
+            if jobs > 0
+            else None
+        )
+
+    @property
+    def port(self) -> int:
+        """The actually-bound TCP port (useful with ``port=0``)."""
+        return int(self.server_address[1])
+
+    def dispatch(
+        self, endpoint: str, params: Any = None
+    ) -> tuple[int, dict[str, Any]]:
+        """Run one request through the pool (or inline) to an envelope."""
+        if self._pool is None:
+            return execute(endpoint, params)
+        try:
+            return self._pool.submit(execute, endpoint, params).result()
+        except Exception as exc:  # pool broken / worker died
+            return 500, error_response(
+                endpoint, "internal", f"worker pool failure: {exc}"
+            )
+
+    def close(self) -> None:
+        """Stop accepting, drain request threads, shut the pool down."""
+        self.server_close()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ServeRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP requests onto ``repro-serve/1`` envelopes.
+
+    GET serves :data:`GET_ENDPOINTS`; POST serves
+    :data:`~repro.serve.protocol.POST_ENDPOINTS` with a JSON parameter
+    body.  Every outcome — including malformed JSON, unknown paths and
+    wrong methods — is a structured envelope with a meaningful status
+    code; a traceback never reaches the wire.
+    """
+
+    server: ReproServer
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr lines; metrics carry the signal."""
+
+    def _endpoint(self) -> str:
+        """The endpoint named by the request path (no nesting, no query)."""
+        return self.path.split("?", 1)[0].strip("/")
+
+    def _send(self, status: int, envelope: dict[str, Any]) -> None:
+        """Write one envelope as a complete HTTP response."""
+        body = canonical_json(envelope)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        metrics_registry().counter("serve_requests_count").add(1)
+        if status >= 400:
+            metrics_registry().counter("serve_errors_count").add(1)
+
+    def _serve(self, endpoint: str, params: Any) -> None:
+        """Dispatch + time one request (shared GET/POST tail)."""
+        start_ns = clock.monotonic_ns()
+        with get_tracer().start("serve_request", endpoint=endpoint) as span:
+            status, envelope = self.server.dispatch(endpoint, params)
+            span.set_attr("status", status)
+        if endpoint in POST_ENDPOINTS or endpoint in GET_ENDPOINTS:
+            metrics_registry().histogram(f"serve_{endpoint}_seconds").observe(
+                clock.elapsed_seconds(start_ns)
+            )
+        self._send(status, envelope)
+
+    def do_GET(self) -> None:
+        """Serve the read-only probe endpoints."""
+        endpoint = self._endpoint()
+        if endpoint in POST_ENDPOINTS:
+            self._send(
+                405,
+                error_response(
+                    endpoint, "bad-request", f"endpoint {endpoint!r} requires POST"
+                ),
+            )
+            return
+        self._serve(endpoint, None)
+
+    def do_POST(self) -> None:
+        """Serve the planning endpoints from a JSON parameter body."""
+        endpoint = self._endpoint()
+        if endpoint in GET_ENDPOINTS:
+            self._send(
+                405,
+                error_response(
+                    endpoint, "bad-request", f"endpoint {endpoint!r} requires GET"
+                ),
+            )
+            return
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            self._send(
+                400,
+                error_response(
+                    endpoint,
+                    "bad-request",
+                    f"request body exceeds {MAX_BODY_BYTES} bytes",
+                ),
+            )
+            return
+        raw = self.rfile.read(length) if length else b""
+        try:
+            params = json.loads(raw or b"null")
+        except json.JSONDecodeError as exc:
+            self._send(
+                400,
+                error_response(
+                    endpoint, "invalid-json", f"request body is not JSON: {exc}"
+                ),
+            )
+            return
+        self._serve(endpoint, params)
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8077,
+    *,
+    jobs: int = 0,
+    announce: bool = True,
+) -> int:
+    """Run the daemon until SIGINT/SIGTERM; drain and exit 0.
+
+    The shutdown sequence — stop accepting, join in-flight request
+    threads, drain the worker pool, compact the cache journal to one
+    atomic file — is the satellite "graceful shutdown" contract; CI's
+    serve smoke job asserts the exit status.
+    """
+    server = ReproServer(host, port, jobs=jobs)
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: Any) -> None:
+        stop.set()
+
+    previous = {
+        sig: signal.signal(sig, _on_signal)
+        for sig in (signal.SIGINT, signal.SIGTERM)
+    }
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve", daemon=False
+    )
+    thread.start()
+    if announce:
+        print(f"repro serve listening on http://{host}:{server.port} (jobs={jobs})", flush=True)
+    try:
+        stop.wait()
+    finally:
+        server.shutdown()
+        thread.join()
+        server.close()
+        from ..experiments import cache
+
+        if cache.cache_enabled():
+            cache.index().compact()
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+    if announce:
+        print("repro serve: drained, cache index flushed, exiting 0", flush=True)
+    return 0

@@ -1,0 +1,331 @@
+"""Planning-as-a-service: protocol, handlers, HTTP daemon, load generator."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analyzer import Objective
+from repro.analyzer.export import plan_to_dict
+from repro.arch.spec import AcceleratorSpec
+from repro.arch.units import kib
+from repro.cli import main
+from repro.manager import MemoryManager
+from repro.nn.zoo import get_model
+from repro.report import diagnostics
+from repro.serve import loadgen, protocol
+from repro.serve.handlers import execute
+from repro.serve.protocol import ProtocolError, canonical_json, parse_plan_request
+from repro.serve.server import ReproServer
+
+
+class TestProtocol:
+    def test_schema_id_pinned_to_diagnostics(self):
+        assert protocol.SERVE_SCHEMA_ID == diagnostics.SERVE_SCHEMA_ID
+        assert protocol.ENDPOINTS == diagnostics.SERVE_ENDPOINTS
+
+    def test_defaults(self):
+        request = parse_plan_request({"model": "ResNet18"})
+        assert request.glb_kb == 64
+        assert request.scheme == "het"
+        assert request.prefetch is True
+
+    def test_roundtrip_params(self):
+        params = {"model": "MobileNet", "glb_kb": 128, "objective": "latency"}
+        request = parse_plan_request(params)
+        assert parse_plan_request(request.to_params()) == request
+
+    @pytest.mark.parametrize(
+        "params",
+        [
+            None,
+            [],
+            {},
+            {"model": ""},
+            {"model": 3},
+            {"model": "MobileNet", "objektive": "accesses"},
+            {"model": "MobileNet", "glb_kb": 0},
+            {"model": "MobileNet", "glb_kb": True},
+            {"model": "MobileNet", "glb_kb": "64"},
+            {"model": "MobileNet", "objective": "speed"},
+            {"model": "MobileNet", "scheme": "magic"},
+            {"model": "MobileNet", "prefetch": "yes"},
+            {"model": "MobileNet", "interlayer_mode": "eager"},
+            {"model": "MobileNet", "dram_bandwidth_elems_per_cycle": -1},
+            {"model": "MobileNet", "interlayer": True, "scheme": "hom"},
+        ],
+    )
+    def test_bad_requests_rejected(self, params):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_plan_request(params)
+        assert excinfo.value.code == "bad-request"
+
+    def test_unknown_error_code_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no-such-code", "boom")
+        with pytest.raises(ValueError):
+            protocol.error_response("plan", "no-such-code", "boom")
+
+    def test_envelopes_validate(self):
+        ok = protocol.ok_response("plan", {"plan": {}})
+        err = protocol.error_response("plan", "bad-request", "nope")
+        assert diagnostics.validate_serve_payload(ok) == []
+        assert diagnostics.validate_serve_payload(err) == []
+
+    def test_validator_rejects_drift(self):
+        assert diagnostics.validate_serve_payload("not a dict")
+        assert diagnostics.validate_serve_payload({"schema": "repro-serve/2"})
+        bad_ok = protocol.ok_response("plan", {})
+        bad_ok["error"] = {"code": "x", "message": "y"}
+        assert diagnostics.validate_serve_payload(bad_ok)
+        bad_err = protocol.error_response("plan", "internal", "boom")
+        bad_err["error"] = {"code": ""}
+        assert diagnostics.validate_serve_payload(bad_err)
+        unknown_ok = protocol.ok_response("teleport", {})
+        assert diagnostics.validate_serve_payload(unknown_ok)
+
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+class TestHandlers:
+    def test_plan_matches_direct_manager_call(self):
+        status, envelope = execute("plan", {"model": "MobileNet", "glb_kb": 64})
+        assert status == 200
+        assert diagnostics.validate_serve_payload(envelope) == []
+        manager = MemoryManager(AcceleratorSpec(glb_bytes=kib(64)))
+        direct = manager.plan_cached(get_model("MobileNet"), Objective.ACCESSES)
+        assert canonical_json(envelope["result"]["plan"]) == canonical_json(
+            plan_to_dict(direct)
+        )
+
+    def test_plan_warm_request_hits_cache(self):
+        params = {"model": "MobileNet", "glb_kb": 64}
+        execute("plan", params)
+        status, envelope = execute("plan", params)
+        assert status == 200
+        assert envelope["result"]["cache"]["hit"] is True
+        assert len(envelope["result"]["cache"]["key"]) == 64
+
+    def test_unknown_model_is_structured_404(self):
+        status, envelope = execute("plan", {"model": "SkyNet"})
+        assert status == 404
+        assert envelope["error"]["code"] == "unknown-model"
+        assert diagnostics.validate_serve_payload(envelope) == []
+
+    def test_model_name_is_case_insensitive(self):
+        status, envelope = execute("plan", {"model": "mobilenet", "glb_kb": 64})
+        assert status == 200
+        assert envelope["result"]["request"]["model"] == "MobileNet"
+
+    def test_unknown_endpoint_is_structured_404(self):
+        status, envelope = execute("teleport", None)
+        assert status == 404
+        assert envelope["error"]["code"] == "unknown-endpoint"
+        assert diagnostics.validate_serve_payload(envelope) == []
+
+    def test_unknown_policy_family_is_bad_request(self):
+        status, envelope = execute(
+            "plan", {"model": "MobileNet", "glb_kb": 64, "scheme": "hom(px)"}
+        )
+        assert status == 400
+        assert envelope["error"]["code"] == "bad-request"
+        assert diagnostics.validate_serve_payload(envelope) == []
+
+    def test_models_lists_zoo(self):
+        status, envelope = execute("models")
+        assert status == 200
+        names = [m["name"] for m in envelope["result"]["models"]]
+        assert "ResNet18" in names and "MobileNet" in names
+
+    def test_health_and_stats(self):
+        status, envelope = execute("health")
+        assert status == 200 and envelope["result"]["status"] == "ok"
+        status, envelope = execute("stats")
+        assert status == 200
+        assert set(envelope["result"]["cache"]["counters"]) == {
+            "hits", "misses", "stores", "evictions",
+        }
+
+    def test_explain_and_simulate(self):
+        status, envelope = execute("explain", {"model": "MobileNet", "glb_kb": 64})
+        assert status == 200
+        assert envelope["result"]["explain"]["layers"]
+        status, envelope = execute("simulate", {"model": "MobileNet", "glb_kb": 64})
+        assert status == 200
+        assert set(envelope["result"]["baselines"]) == {
+            "sa_25_75", "sa_50_50", "sa_75_25",
+        }
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """An in-process daemon on an ephemeral port, shared by HTTP tests."""
+    server = ReproServer("127.0.0.1", 0, jobs=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.port}"
+    server.shutdown()
+    thread.join()
+    server.close()
+
+
+def _get(url: str) -> tuple[int, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=60) as response:
+            return int(response.status), json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return int(exc.code), json.loads(exc.read())
+
+
+def _post(url: str, body: bytes) -> tuple[int, dict]:
+    request = urllib.request.Request(url, data=body, method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            return int(response.status), json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return int(exc.code), json.loads(exc.read())
+
+
+class TestHttpDaemon:
+    def test_health(self, daemon):
+        status, envelope = _get(f"{daemon}/health")
+        assert status == 200 and envelope["ok"] is True
+        assert diagnostics.validate_serve_payload(envelope) == []
+
+    def test_plan_and_warm_hit(self, daemon):
+        body = json.dumps({"model": "MobileNet", "glb_kb": 64}).encode()
+        status, envelope = _post(f"{daemon}/plan", body)
+        assert status == 200
+        assert diagnostics.validate_serve_payload(envelope) == []
+        status, warm = _post(f"{daemon}/plan", body)
+        assert warm["result"]["cache"]["hit"] is True
+
+    def test_malformed_json_is_400_envelope(self, daemon):
+        status, envelope = _post(f"{daemon}/plan", b"{not json")
+        assert status == 400
+        assert envelope["error"]["code"] == "invalid-json"
+        assert diagnostics.validate_serve_payload(envelope) == []
+
+    def test_unknown_endpoint_is_404_envelope(self, daemon):
+        status, envelope = _get(f"{daemon}/nonsense")
+        assert status == 404
+        assert envelope["error"]["code"] == "unknown-endpoint"
+        assert diagnostics.validate_serve_payload(envelope) == []
+
+    def test_wrong_method_is_405_envelope(self, daemon):
+        status, envelope = _get(f"{daemon}/plan")
+        assert status == 405
+        assert envelope["error"]["code"] == "bad-request"
+        status, envelope = _post(f"{daemon}/stats", b"{}")
+        assert status == 405
+        assert envelope["error"]["code"] == "bad-request"
+
+    def test_unknown_model_http(self, daemon):
+        status, envelope = _post(
+            f"{daemon}/plan", json.dumps({"model": "SkyNet"}).encode()
+        )
+        assert status == 404
+        assert envelope["error"]["code"] == "unknown-model"
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        env = dict(
+            os.environ,
+            REPRO_CACHE_DIR=str(tmp_path / "cache"),
+            PYTHONPATH=os.pathsep.join(filter(None, ["src", os.environ.get("PYTHONPATH")])),
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            announce = proc.stdout.readline()
+            url = announce.split()[-2]
+            status, envelope = _post(
+                f"{url}/plan",
+                json.dumps({"model": "MobileNet", "glb_kb": 32}).encode(),
+            )
+            assert status == 200 and envelope["ok"]
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=60) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # shutdown compacted the journal: one line per live entry
+        from repro.serve.cache_index import CacheIndex
+
+        index = CacheIndex(tmp_path / "cache")
+        journal_lines = index.journal_path.read_text().splitlines()
+        assert len(journal_lines) == len(list(index.iter_keys()))
+
+
+class TestLoadGenerator:
+    def test_request_mix_is_deterministic(self):
+        first = loadgen.request_mix(7, 16)
+        second = loadgen.request_mix(7, 16)
+        assert first == second
+        assert loadgen.request_mix(8, 16) != first
+        assert {job.endpoint for job in first} <= {"plan", "explain", "simulate"}
+
+    def test_bench_serve_in_process(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        report = loadgen.bench_serve(
+            clients=2,
+            requests=8,
+            seed=1,
+            models=("MobileNet",),
+            glb_kb=(64,),
+            out=out,
+        )
+        assert report.error_count == 0
+        assert report.byte_identical is True
+        record = json.loads(out.read_text())
+        assert record["schema"] == 1 and record["kind"] == "serve"
+        assert record["requests"] == 8
+        assert set(record["latency_seconds"]) == {"p50", "p99", "mean"}
+        # the same seed over a warm cache must hit nearly always
+        warm = loadgen.bench_serve(
+            clients=2,
+            requests=8,
+            seed=1,
+            models=("MobileNet",),
+            glb_kb=(64,),
+            out=None,
+        )
+        assert warm.hit_rate >= 0.9
+
+    def test_bench_cli(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        assert (
+            main(
+                [
+                    "bench", "serve",
+                    "--clients", "2",
+                    "--requests", "6",
+                    "--models", "MobileNet",
+                    "--glb", "64",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "byte-identical" in printed and "True" in printed
+        assert json.loads(out.read_text())["errors"] == 0
+
+    def test_percentile_edges(self):
+        assert loadgen._percentile([], 0.5) == 0.0
+        assert loadgen._percentile([1.0], 0.99) == 1.0
+        assert loadgen._percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
