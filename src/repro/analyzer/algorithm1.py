@@ -16,9 +16,24 @@ changes which candidate wins.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..estimators.evaluate import PolicyEvaluation
 from ..obs.audit import CandidateRecord
+from ..plancore import scalar_planner_enabled, stable_masked_argmin
 from .objectives import Objective
+
+
+def _cycles_slower(extra_cycles: float) -> str:
+    """Truthful phrasing of a positive cycle delta.
+
+    Latencies are floats, so a loser can trail by a fraction of a cycle;
+    rounding with ``:.0f`` used to print the lie "0 cycles slower".  Whole
+    deltas keep the integer phrasing, sub-cycle deltas are reported as such.
+    """
+    if extra_cycles < 1.0:
+        return "<1 cycle slower"
+    return f"{extra_cycles:.0f} cycles slower"
 
 
 def _reject_reason(
@@ -31,13 +46,45 @@ def _reject_reason(
         if extra_bytes > 0:
             return f"{extra_bytes} B more off-chip traffic than {winner.label}"
         if extra_cycles > 0:
-            return f"same traffic as {winner.label}, {extra_cycles:.0f} cycles slower"
+            return f"same traffic as {winner.label}, {_cycles_slower(extra_cycles)}"
     else:
         if extra_cycles > 0:
-            return f"{extra_cycles:.0f} cycles slower than {winner.label}"
+            return f"{_cycles_slower(extra_cycles)} than {winner.label}"
         if extra_bytes > 0:
             return f"same latency as {winner.label}, {extra_bytes} B more traffic"
     return f"ties with {winner.label}; earlier-listed candidate kept"
+
+
+def _select_index(
+    evaluations: list[PolicyEvaluation], objective: Objective
+) -> int:
+    """Index of the Algorithm 1 winner, with **explicitly stable** ties.
+
+    Exact key ties keep the earliest-listed candidate.  The scalar path
+    encodes the candidate index into the comparison key (rather than
+    leaning on ``min()`` happening to be stable), and the vectorized path
+    selects with :func:`~repro.plancore.stable_masked_argmin`, whose
+    tie-break is lowest-index by construction — so the two paths cannot
+    diverge on ties.
+    """
+    if scalar_planner_enabled():
+        return min(
+            range(len(evaluations)),
+            key=lambda i: (
+                *objective.key(
+                    evaluations[i].accesses_bytes, evaluations[i].latency_cycles
+                ),
+                i,
+            ),
+        )
+    accesses = np.array([ev.accesses_bytes for ev in evaluations], dtype=np.int64)
+    latency = np.array([ev.latency_cycles for ev in evaluations], dtype=np.float64)
+    keys = (
+        (accesses, latency) if objective is Objective.ACCESSES else (latency, accesses)
+    )
+    index = stable_masked_argmin(np.ones(len(evaluations), dtype=np.bool_), *keys)
+    assert index is not None  # evaluations is non-empty and the mask all-True
+    return index
 
 
 def select_policy(
@@ -57,10 +104,7 @@ def select_policy(
     """
     if not evaluations:
         raise ValueError("no feasible policy for layer; tile search failed")
-    winner = min(
-        evaluations,
-        key=lambda ev: objective.key(ev.accesses_bytes, ev.latency_cycles),
-    )
+    winner = evaluations[_select_index(evaluations, objective)]
     if audit is not None:
         for ev in evaluations:
             chosen = ev is winner

@@ -3,9 +3,13 @@
 from .evaluate import (
     PolicyEvaluation,
     estimate_accesses,
+    estimate_accesses_batch,
     estimate_latency,
+    estimate_latency_batch,
     estimate_memory,
+    estimate_memory_batch,
     evaluate_layer,
+    evaluate_plans,
 )
 from .bounds import (
     OptimalityGap,
@@ -15,16 +19,21 @@ from .bounds import (
     model_bound_interlayer,
     optimality_gap,
 )
-from .latency import LatencyBreakdown, schedule_latency
+from .latency import LatencyBreakdown, schedule_latency, schedule_latency_batch
 
 __all__ = [
     "PolicyEvaluation",
     "evaluate_layer",
+    "evaluate_plans",
     "estimate_memory",
     "estimate_accesses",
     "estimate_latency",
+    "estimate_memory_batch",
+    "estimate_accesses_batch",
+    "estimate_latency_batch",
     "LatencyBreakdown",
     "schedule_latency",
+    "schedule_latency_batch",
     "TrafficBound",
     "OptimalityGap",
     "layer_bound",

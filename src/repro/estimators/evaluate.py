@@ -10,12 +10,23 @@ fits, mirroring paper §3.3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
 
 from ..arch.spec import AcceleratorSpec
 from ..nn.layer import LayerSpec
+from ..plancore import scalar_planner_enabled
 from ..policies.base import CandidatePlan, Policy
 from ..policies.registry import FALLBACK_POLICY, NAMED_POLICIES
-from .latency import LatencyBreakdown, schedule_latency
+from .latency import (
+    LatencyBreakdown,
+    clear_latency_memo,
+    schedule_latency,
+    schedule_latency_batch,
+)
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,39 @@ def estimate_latency(plan: CandidatePlan, spec: AcceleratorSpec) -> LatencyBreak
     return schedule_latency(plan.schedule, spec, plan.prefetch, layer=plan.layer)
 
 
+def estimate_memory_batch(
+    plans: Sequence[CandidatePlan], spec: AcceleratorSpec
+) -> NDArray[np.int64]:
+    """GLB bytes of every plan of a candidate grid, as one int64 array."""
+    return (
+        np.array([p.memory_elems for p in plans], dtype=np.int64)
+        * spec.bytes_per_elem
+    )
+
+
+def estimate_accesses_batch(
+    plans: Sequence[CandidatePlan], spec: AcceleratorSpec
+) -> NDArray[np.int64]:
+    """Off-chip traffic bytes of every plan of a grid, as one int64 array."""
+    return (
+        np.array([p.traffic.total for p in plans], dtype=np.int64)
+        * spec.bytes_per_elem
+    )
+
+
+def estimate_latency_batch(
+    plans: Sequence[CandidatePlan], spec: AcceleratorSpec
+) -> list[LatencyBreakdown]:
+    """Latency of every plan of a grid in one vectorized recurrence pass.
+
+    Flat DRAM model only (see :func:`schedule_latency_batch`); bit-identical
+    to :func:`estimate_latency` per plan.
+    """
+    return schedule_latency_batch(
+        [p.schedule for p in plans], spec, [p.prefetch for p in plans]
+    )
+
+
 def _evaluate_plan(plan: CandidatePlan, spec: AcceleratorSpec) -> PolicyEvaluation:
     b = spec.bytes_per_elem
     return PolicyEvaluation(
@@ -95,6 +139,44 @@ def _evaluate_plan(plan: CandidatePlan, spec: AcceleratorSpec) -> PolicyEvaluati
         write_bytes=plan.traffic.writes * b,
         latency=estimate_latency(plan, spec),
     )
+
+
+def evaluate_plans(
+    plans: Sequence[CandidatePlan], spec: AcceleratorSpec
+) -> list[PolicyEvaluation]:
+    """Evaluate a layer's whole candidate grid in one shot.
+
+    The default path computes memory/accesses/read/write bytes as int64
+    arrays and all latencies through one batched recurrence, then coerces
+    back to native Python ``int``/``float`` so no NumPy scalar ever leaks
+    into a :class:`PolicyEvaluation` (and from there into cached plans,
+    cache keys or JSON exports) — a type-pinning test enforces this.
+
+    Falls back to per-plan scalar evaluation under ``REPRO_SCALAR_PLANNER``
+    and whenever ``spec.dram`` is banked (trace-simulated bandwidth is
+    inherently per-candidate); results are bit-identical either way.
+    """
+    if not plans:
+        return []
+    if scalar_planner_enabled() or spec.dram is not None:
+        return [_evaluate_plan(plan, spec) for plan in plans]
+    b = spec.bytes_per_elem
+    memory = estimate_memory_batch(plans, spec)
+    accesses = estimate_accesses_batch(plans, spec)
+    reads = np.array([p.traffic.reads for p in plans], dtype=np.int64) * b
+    writes = np.array([p.traffic.writes for p in plans], dtype=np.int64) * b
+    latencies = estimate_latency_batch(plans, spec)
+    return [
+        PolicyEvaluation(
+            plan=plan,
+            memory_bytes=int(memory[i]),
+            accesses_bytes=int(accesses[i]),
+            read_bytes=int(reads[i]),
+            write_bytes=int(writes[i]),
+            latency=latencies[i],
+        )
+        for i, plan in enumerate(plans)
+    ]
 
 
 def evaluate_layer(
@@ -117,21 +199,76 @@ def evaluate_layer(
     as a :class:`PolicyAttempt` (feasible or not) for the decision audit
     trail; passing it changes no result.
 
+    The result is a pure function of the arguments (everything involved is
+    a frozen dataclass), so the vectorized path memoizes it — CNNs repeat
+    layer shapes heavily, both within a model and across a zoo.  The
+    scalar parity oracle bypasses the memo entirely.
+
     Returns an empty list only when even the tile-search fallback cannot
     fit, which for sane GLB sizes does not happen (the fallback's smallest
     footprint is a couple of rows).
     """
+    if scalar_planner_enabled():
+        return _evaluate_layer_uncached(
+            layer,
+            spec,
+            policies,
+            use_fallback,
+            allow_prefetch,
+            always_fallback,
+            attempts,
+        )
+    evaluations, tries = _evaluate_layer_memo(
+        layer, spec, policies, use_fallback, allow_prefetch, always_fallback
+    )
+    if attempts is not None:
+        attempts.extend(tries)
+    return list(evaluations)
+
+
+@lru_cache(maxsize=4096)
+def _evaluate_layer_memo(
+    layer: LayerSpec,
+    spec: AcceleratorSpec,
+    policies: tuple[Policy, ...],
+    use_fallback: bool,
+    allow_prefetch: bool,
+    always_fallback: bool,
+) -> tuple[tuple[PolicyEvaluation, ...], tuple[PolicyAttempt, ...]]:
+    """Memoized evaluation grid of one layer (immutable results, safe to share)."""
+    attempts: list[PolicyAttempt] = []
+    evaluations = _evaluate_layer_uncached(
+        layer, spec, policies, use_fallback, allow_prefetch, always_fallback, attempts
+    )
+    return tuple(evaluations), tuple(attempts)
+
+
+def clear_evaluation_memo() -> None:
+    """Drop the in-process per-layer evaluation memo (cold-start benches)."""
+    _evaluate_layer_memo.cache_clear()
+    clear_latency_memo()
+
+
+def _evaluate_layer_uncached(
+    layer: LayerSpec,
+    spec: AcceleratorSpec,
+    policies: tuple[Policy, ...],
+    use_fallback: bool,
+    allow_prefetch: bool,
+    always_fallback: bool,
+    attempts: list[PolicyAttempt] | None,
+) -> list[PolicyEvaluation]:
     budget = spec.glb_elems
     prefetch_options = (False, True) if allow_prefetch else (False,)
-    evaluations: list[PolicyEvaluation] = []
+    plans: list[CandidatePlan] = []
     for policy in policies:
         for prefetch in prefetch_options:
             plan = policy.plan(layer, budget, prefetch)
             if attempts is not None:
                 attempts.append(PolicyAttempt(policy.name, prefetch, plan is not None))
             if plan is not None:
-                evaluations.append(_evaluate_plan(plan, spec))
-    if use_fallback and (always_fallback or not evaluations):
+                plans.append(plan)
+    if use_fallback and (always_fallback or not plans):
         for prefetch in prefetch_options:
             plan = FALLBACK_POLICY.plan(layer, budget, prefetch)
             if attempts is not None:
@@ -141,5 +278,5 @@ def evaluate_layer(
                     )
                 )
             if plan is not None:
-                evaluations.append(_evaluate_plan(plan, spec))
-    return evaluations
+                plans.append(plan)
+    return evaluate_plans(plans, spec)

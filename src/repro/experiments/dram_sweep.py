@@ -13,13 +13,15 @@ address mapping recovers.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..dram.backend import DramStats
 from ..dram.mapping import MAPPING_NAMES
 from ..dram.planstats import simulate_plan_dram
 from ..dram.spec import DEFAULT_DDR4_SPEC, DramSpec
+from ..nn.zoo import get_model
 from ..report.table import Table
-from .common import all_model_names, het_plan
+from .common import all_model_names, het_plan_ladder
 
 #: GLB size used for the sweep (the paper's reference 256 kB point).
 SWEEP_GLB_KB = 256
@@ -32,6 +34,7 @@ class DramSweepCell:
     model: str
     mapping: str
     stats: DramStats
+    glb_kb: int = SWEEP_GLB_KB
 
     @property
     def overhead_pct(self) -> float:
@@ -43,19 +46,28 @@ class DramSweepCell:
 
 def run(
     models: tuple[str, ...] | None = None,
-    glb_kb: int = SWEEP_GLB_KB,
+    glb_kb: int | Sequence[int] = SWEEP_GLB_KB,
     dram: DramSpec = DEFAULT_DDR4_SPEC,
     mappings: tuple[str, ...] = MAPPING_NAMES,
 ) -> list[DramSweepCell]:
-    """Sweep every mapping policy over every model's heterogeneous plan."""
+    """Sweep every mapping policy over every model's heterogeneous plan.
+
+    ``glb_kb`` may be a ladder of sizes; each model's plans are then
+    delta-replanned across the ladder (:func:`het_plan_ladder`), with
+    single-size output byte-identical to the historical behaviour.
+    """
+    ladder = (glb_kb,) if isinstance(glb_kb, int) else tuple(glb_kb)
     cells = []
     for name in models or all_model_names():
-        plan = het_plan(name, glb_kb)
-        for mapping in mappings:
-            result = simulate_plan_dram(plan, dram, mapping)
-            cells.append(
-                DramSweepCell(model=name, mapping=mapping, stats=result.total)
-            )
+        plans = het_plan_ladder(get_model(name), ladder)
+        for size, plan in zip(ladder, plans):
+            for mapping in mappings:
+                result = simulate_plan_dram(plan, dram, mapping)
+                cells.append(
+                    DramSweepCell(
+                        model=name, mapping=mapping, stats=result.total, glb_kb=size
+                    )
+                )
     return cells
 
 

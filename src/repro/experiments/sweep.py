@@ -11,11 +11,20 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-from ..analyzer import Objective, plan_heterogeneous
+from ..analyzer import (
+    ExecutionPlan,
+    Objective,
+    SweepPlanner,
+    plan_heterogeneous,
+)
 from ..arch.spec import AcceleratorSpec
 from ..arch.units import to_kib, to_mib
 from ..nn.model import Model
 from ..report.table import Table, series_table
+
+#: ``plan_heterogeneous`` kwargs :class:`~repro.analyzer.SweepPlanner` can
+#: reproduce exactly; any other kwarg keeps a sweep on the per-point path.
+_DELTA_KWARGS = frozenset({"allow_prefetch", "verify"})
 
 
 @dataclass(frozen=True)
@@ -29,6 +38,16 @@ class SweepPoint:
     policies: tuple[str, ...]
 
 
+def _point(value: float, plan: ExecutionPlan) -> SweepPoint:
+    return SweepPoint(
+        value=value,
+        accesses_bytes=plan.total_accesses_bytes,
+        latency_cycles=plan.total_latency_cycles,
+        max_memory_bytes=plan.max_memory_bytes,
+        policies=plan.policy_families_used,
+    )
+
+
 def glb_sweep(
     model: Model,
     sizes_bytes: Sequence[int],
@@ -36,23 +55,27 @@ def glb_sweep(
     base_spec: AcceleratorSpec | None = None,
     **plan_kwargs,
 ) -> list[SweepPoint]:
-    """Sweep the GLB capacity."""
+    """Sweep the GLB capacity.
+
+    Successive sizes re-plan only the layers whose capacity-check outcome
+    can flip (see :class:`~repro.analyzer.SweepPlanner`); plans are
+    byte-identical to calling :func:`~repro.analyzer.plan_heterogeneous`
+    per size.  Kwargs the delta planner cannot reproduce (``interlayer``)
+    keep the per-point path.
+    """
     spec = base_spec or AcceleratorSpec()
-    points = []
-    for size in sizes_bytes:
-        plan = plan_heterogeneous(
-            model, spec.with_glb(size), objective, **plan_kwargs
-        )
-        points.append(
-            SweepPoint(
-                value=size,
-                accesses_bytes=plan.total_accesses_bytes,
-                latency_cycles=plan.total_latency_cycles,
-                max_memory_bytes=plan.max_memory_bytes,
-                policies=plan.policy_families_used,
+    if not set(plan_kwargs) <= _DELTA_KWARGS:
+        return [
+            _point(
+                size,
+                plan_heterogeneous(
+                    model, spec.with_glb(size), objective, **plan_kwargs
+                ),
             )
-        )
-    return points
+            for size in sizes_bytes
+        ]
+    planner = SweepPlanner(model, objective, **plan_kwargs)
+    return [_point(size, planner.plan(spec.with_glb(size))) for size in sizes_bytes]
 
 
 def bandwidth_sweep(
@@ -62,26 +85,34 @@ def bandwidth_sweep(
     base_spec: AcceleratorSpec | None = None,
     **plan_kwargs,
 ) -> list[SweepPoint]:
-    """Sweep the off-chip bandwidth (latency objective by default)."""
+    """Sweep the off-chip bandwidth (latency objective by default).
+
+    Bandwidth is *not* a GLB move, so the delta planner invalidates every
+    layer at every point — this sweep exercises (and the sweep-parity test
+    asserts) the full-invalidation side of the delta invariant.
+    """
     spec = base_spec or AcceleratorSpec()
-    points = []
-    for bandwidth in bandwidths_elems_per_cycle:
-        plan = plan_heterogeneous(
-            model,
-            replace(spec, dram_bandwidth_elems_per_cycle=bandwidth),
-            objective,
-            **plan_kwargs,
-        )
-        points.append(
-            SweepPoint(
-                value=bandwidth,
-                accesses_bytes=plan.total_accesses_bytes,
-                latency_cycles=plan.total_latency_cycles,
-                max_memory_bytes=plan.max_memory_bytes,
-                policies=plan.policy_families_used,
+    if not set(plan_kwargs) <= _DELTA_KWARGS:
+        return [
+            _point(
+                bandwidth,
+                plan_heterogeneous(
+                    model,
+                    replace(spec, dram_bandwidth_elems_per_cycle=bandwidth),
+                    objective,
+                    **plan_kwargs,
+                ),
             )
+            for bandwidth in bandwidths_elems_per_cycle
+        ]
+    planner = SweepPlanner(model, objective, **plan_kwargs)
+    return [
+        _point(
+            bandwidth,
+            planner.plan(replace(spec, dram_bandwidth_elems_per_cycle=bandwidth)),
         )
-    return points
+        for bandwidth in bandwidths_elems_per_cycle
+    ]
 
 
 def smallest_glb_within(

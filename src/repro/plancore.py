@@ -1,0 +1,64 @@
+"""Vectorized planner-core primitives shared across layers.
+
+The planner hot path (Algorithm 1 and the tile-search fallback) evaluates
+the whole candidate grid of a layer as NumPy arrays and picks winners with
+a *stable masked argmin* — the array analogue of Python's ``min()`` over a
+feasibility-filtered candidate list, which keeps the earliest-enumerated
+candidate on exact key ties.  Both :mod:`repro.policies` and
+:mod:`repro.analyzer` need the same selection semantics (and the same
+scalar/vectorized mode switch), and neither may import the other, so the
+primitives live here at the package root.
+
+``REPRO_SCALAR_PLANNER=1`` re-enables the original pure-Python scalar
+path end to end.  It exists as a *parity oracle*: the vectorized path is
+required to produce bit-identical plans, audit trails and cache entries,
+and the test suite plans the full model zoo under both modes and asserts
+byte-identical exports.  The switch therefore never changes any result —
+only how fast it is computed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+from numpy.typing import NDArray
+
+#: Environment variable selecting the scalar (pure-Python) planner path.
+ENV_SCALAR_PLANNER = "REPRO_SCALAR_PLANNER"
+
+
+def scalar_planner_enabled() -> bool:
+    """Whether the scalar parity-oracle path is active.
+
+    Read per planning call so tests can toggle it with ``monkeypatch``;
+    the two paths are bit-identical by contract, so this can never change
+    a result (plans, audit trails and cache entries all match).
+    """
+    return bool(os.environ.get(ENV_SCALAR_PLANNER))  # repro: noqa[R011,R051] -- parity-oracle switch between two bit-identical planner implementations; affects speed only, never results or cache payloads
+
+
+def stable_masked_argmin(
+    mask: NDArray[np.bool_], *keys: NDArray[np.generic]
+) -> int | None:
+    """Index of the lexicographic minimum of ``keys`` where ``mask`` holds.
+
+    The array analogue of ``min(candidates, key=...)`` over the feasible
+    subsequence: candidates are compared by ``keys[0]``, ties by
+    ``keys[1]``, and so on; remaining exact ties keep the **lowest index**
+    (the earliest-enumerated candidate), exactly like Python's stable
+    ``min()``.  Returns ``None`` when no candidate is feasible.
+
+    All keys must be 1-D arrays of the same length as ``mask``.  Integer
+    and float keys compare exactly (no tolerance), matching the scalar
+    planner's tuple comparisons bit for bit.
+    """
+    alive = np.flatnonzero(mask)
+    if alive.size == 0:
+        return None
+    for key in keys:
+        values = key[alive]
+        alive = alive[values == values.min()]
+        if alive.size == 1:
+            break
+    return int(alive[0])

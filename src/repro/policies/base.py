@@ -190,6 +190,36 @@ class Policy(abc.ABC):
         Eq. (2) violated for every parameterization).
         """
 
+    def residency(self, layer: LayerSpec) -> TileSizes | None:
+        """Budget-independent Eq. (1) residency, when the policy has one.
+
+        The fixed policies (intra, P1–P3) derive their tiles from the layer
+        alone — the budget only gates feasibility — so they return their
+        tiles here.  Budget-dependent policies (P4/P5's block size, the
+        tile search) return ``None`` and override
+        :meth:`capacity_signature` instead.
+        """
+        return None
+
+    def capacity_signature(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> object:
+        """Everything :meth:`plan` takes from the budget, as a comparable value.
+
+        **Contract:** equal signatures at two budgets imply :meth:`plan`
+        returns identical results at both — the soundness condition for
+        delta re-planning across a GLB-size sweep
+        (:class:`~repro.analyzer.delta.SweepPlanner`).  For the fixed
+        policies that is the Eq. (1)/(2) feasibility bit; budget-dependent
+        policies encode their chosen parameters (block size ``n``, winning
+        tile shape).  The default is maximally conservative: the budget
+        itself, which forces a re-plan whenever the budget moves.
+        """
+        tiles = self.residency(layer)
+        if tiles is None:
+            return budget_elems
+        return self._fits(tiles, budget_elems, prefetch)
+
     # Helpers shared by concrete policies -------------------------------
 
     @staticmethod

@@ -16,15 +16,19 @@ class IntraLayerReuse(Policy):
 
     name = "intra"
 
-    def plan(
-        self, layer: LayerSpec, budget_elems: int, prefetch: bool
-    ) -> CandidatePlan | None:
-        """Instantiate whole-layer residency within the budget (None if infeasible)."""
-        tiles = TileSizes(
+    def residency(self, layer: LayerSpec) -> TileSizes:
+        """Full-layer working set; the budget only gates feasibility."""
+        return TileSizes(
             ifmap=layer.ifmap_elems,
             filters=layer.filter_elems,
             ofmap=layer.ofmap_elems,
         )
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate whole-layer residency within the budget (None if infeasible)."""
+        tiles = self.residency(layer)
         if not self._fits(tiles, budget_elems, prefetch):
             return None
         schedule = LayerSchedule(

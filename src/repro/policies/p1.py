@@ -17,16 +17,19 @@ class IfmapReuse(Policy):
 
     name = "p1"
 
+    def residency(self, layer: LayerSpec) -> TileSizes:
+        """Sliding window + all filters + one ofmap row; budget-independent."""
+        return TileSizes(
+            ifmap=layer.f_h * layer.padded_w * layer.in_c,
+            filters=layer.filter_elems,
+            ofmap=layer.out_w * layer.out_c,
+        )
+
     def plan(
         self, layer: LayerSpec, budget_elems: int, prefetch: bool
     ) -> CandidatePlan | None:
         """Instantiate resident filters against a sliding ifmap window within the budget (None if infeasible)."""
-        window = layer.f_h * layer.padded_w * layer.in_c
-        tiles = TileSizes(
-            ifmap=window,
-            filters=layer.filter_elems,
-            ofmap=layer.out_w * layer.out_c,
-        )
+        tiles = self.residency(layer)
         if not self._fits(tiles, budget_elems, prefetch):
             return None
         row_macs = layer.macs // layer.out_h

@@ -20,22 +20,26 @@ class FilterReuse(Policy):
 
     name = "p2"
 
+    def residency(self, layer: LayerSpec) -> TileSizes:
+        """Full ifmap + one filter + one ofmap channel; budget-independent."""
+        if layer.kind.is_depthwise:
+            filter_tile = layer.f_h * layer.f_w
+        else:
+            filter_tile = layer.filter_elems_per_filter
+        return TileSizes(
+            ifmap=layer.ifmap_elems,
+            filters=filter_tile,
+            ofmap=layer.out_h * layer.out_w,
+        )
+
     def plan(
         self, layer: LayerSpec, budget_elems: int, prefetch: bool
     ) -> CandidatePlan | None:
         """Instantiate resident ifmap against streamed filters within the budget (None if infeasible)."""
-        if layer.kind.is_depthwise:
-            filter_tile = layer.f_h * layer.f_w
-            num_steps = layer.in_c
-        else:
-            filter_tile = layer.filter_elems_per_filter
-            num_steps = layer.num_filters
+        num_steps = layer.in_c if layer.kind.is_depthwise else layer.num_filters
         channel = layer.out_h * layer.out_w
-        tiles = TileSizes(
-            ifmap=layer.ifmap_elems,
-            filters=filter_tile,
-            ofmap=channel,
-        )
+        tiles = self.residency(layer)
+        filter_tile = tiles.filters
         if not self._fits(tiles, budget_elems, prefetch):
             return None
         step_macs = layer.macs // num_steps

@@ -24,19 +24,28 @@ class PerChannelReuse(Policy):
 
     name = "p3"
 
-    def plan(
-        self, layer: LayerSpec, budget_elems: int, prefetch: bool
-    ) -> CandidatePlan | None:
-        """Instantiate per-channel streaming with full-ofmap accumulation within the budget (None if infeasible)."""
-        window = layer.f_h * layer.padded_w
-        depthwise = layer.kind.is_depthwise
-        if depthwise:
+    def residency(self, layer: LayerSpec) -> TileSizes:
+        """Channel window + one filter channel + ofmap; budget-independent."""
+        if layer.kind.is_depthwise:
             filter_tile = layer.f_h * layer.f_w
             ofmap_tile = layer.out_h * layer.out_w
         else:
             filter_tile = layer.f_h * layer.f_w * layer.num_filters
             ofmap_tile = layer.ofmap_elems
-        tiles = TileSizes(ifmap=window, filters=filter_tile, ofmap=ofmap_tile)
+        return TileSizes(
+            ifmap=layer.f_h * layer.padded_w,
+            filters=filter_tile,
+            ofmap=ofmap_tile,
+        )
+
+    def plan(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """Instantiate per-channel streaming with full-ofmap accumulation within the budget (None if infeasible)."""
+        depthwise = layer.kind.is_depthwise
+        tiles = self.residency(layer)
+        filter_tile = tiles.filters
+        ofmap_tile = tiles.ofmap
         if not self._fits(tiles, budget_elems, prefetch):
             return None
 

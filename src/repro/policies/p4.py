@@ -50,6 +50,16 @@ class PartialIfmapReuse(Policy):
             return self._plan_depthwise(layer, budget_elems, prefetch)
         return self._plan_dense(layer, budget_elems, prefetch)
 
+    def capacity_signature(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> object:
+        """The chosen block size ``n`` (or None): the plan is a pure
+        function of ``(layer, prefetch, n)``, so equal ``n`` across budgets
+        means identical plans."""
+        if layer.kind.is_depthwise:
+            return self._channel_block(layer, budget_elems, prefetch)
+        return self._filter_block(layer, budget_elems, prefetch)
+
     # ------------------------------------------------------------------
 
     @staticmethod
@@ -63,15 +73,36 @@ class PartialIfmapReuse(Policy):
             return None
         return min(n_max, room // per_n)
 
+    def _filter_block(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> int | None:
+        """Dense layers: largest filter-block size ``n`` within the budget."""
+        window = layer.f_h * layer.padded_w * layer.in_c
+        per_filter = layer.filter_elems_per_filter + layer.out_w
+        # n ranges over [1, F#): n = F# would be Policy 1 (paper §3.2).
+        return self._max_block(
+            budget_elems, prefetch, window, per_filter, layer.num_filters - 1
+        )
+
+    @staticmethod
+    def _channel_block(
+        layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> int | None:
+        """Depthwise layers: largest channel-block size ``n`` in the budget."""
+        per_n = (
+            layer.f_h * layer.padded_w  # window slice
+            + layer.f_h * layer.f_w  # filter slice
+            + layer.out_w  # ofmap row slice
+        )
+        return PartialIfmapReuse._max_block(
+            budget_elems, prefetch, 0, per_n, layer.in_c
+        )
+
     def _plan_dense(
         self, layer: LayerSpec, budget_elems: int, prefetch: bool
     ) -> CandidatePlan | None:
         window = layer.f_h * layer.padded_w * layer.in_c
-        per_filter = layer.filter_elems_per_filter + layer.out_w
-        # n ranges over [1, F#): n = F# would be Policy 1 (paper §3.2).
-        n = self._max_block(
-            budget_elems, prefetch, window, per_filter, layer.num_filters - 1
-        )
+        n = self._filter_block(layer, budget_elems, prefetch)
         if n is None:
             return None
         x = ceil_div(layer.num_filters, n)
@@ -126,12 +157,7 @@ class PartialIfmapReuse(Policy):
         # Block over channels: window, filter slice and ofmap row all scale
         # with n, and each channel's ifmap is needed by its own filter only,
         # so the ifmap streams exactly once regardless of n.
-        per_n = (
-            layer.f_h * layer.padded_w  # window slice
-            + layer.f_h * layer.f_w  # filter slice
-            + layer.out_w  # ofmap row slice
-        )
-        n = self._max_block(budget_elems, prefetch, 0, per_n, layer.in_c)
+        n = self._channel_block(layer, budget_elems, prefetch)
         if n is None:
             return None
         cols = self.covered_cols(layer)

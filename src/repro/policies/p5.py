@@ -46,14 +46,30 @@ class PartialPerChannelReuse(Policy):
             )
         return self._plan_dense(layer, budget_elems, prefetch)
 
+    def capacity_signature(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> object:
+        """The chosen block size ``n`` (or None), like Policy 4."""
+        if layer.kind.is_depthwise:
+            return PartialIfmapReuse._channel_block(layer, budget_elems, prefetch)
+        return self._filter_block(layer, budget_elems, prefetch)
+
+    @staticmethod
+    def _filter_block(
+        layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> int | None:
+        """Dense layers: largest filter-block size ``n`` within the budget."""
+        window = layer.f_h * layer.padded_w
+        per_filter = layer.f_h * layer.f_w + layer.out_h * layer.out_w
+        return PartialIfmapReuse._max_block(
+            budget_elems, prefetch, window, per_filter, layer.num_filters - 1
+        )
+
     def _plan_dense(
         self, layer: LayerSpec, budget_elems: int, prefetch: bool
     ) -> CandidatePlan | None:
         window = layer.f_h * layer.padded_w
-        per_filter = layer.f_h * layer.f_w + layer.out_h * layer.out_w
-        n = PartialIfmapReuse._max_block(
-            budget_elems, prefetch, window, per_filter, layer.num_filters - 1
-        )
+        n = self._filter_block(layer, budget_elems, prefetch)
         if n is None:
             return None
         x = ceil_div(layer.num_filters, n)

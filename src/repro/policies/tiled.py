@@ -25,12 +25,26 @@ Filters additionally block into groups of ``n_f`` as in Policies 4/5.
 The search enumerates candidate ``(n_f, o_t[, w_t])`` combinations and
 returns the feasible plan with the fewest off-chip accesses, tie-broken
 toward fewer steps.
+
+The search is the planner's hot loop (hundreds to thousands of tile
+candidates per layer), so by default it runs **vectorized**: the whole
+candidate grid's memory footprints, traffic totals and step counts are
+evaluated as NumPy arrays in one shot (every quantity has a closed form
+in ``(n_f, o_t, w_t)`` — band sums factor into a row-sum × column-sum
+product), the winner is picked with a stable masked argmin, and only the
+winning candidate is instantiated into a full :class:`CandidatePlan` by
+the exact scalar construction.  ``REPRO_SCALAR_PLANNER=1`` selects the
+original candidate-at-a-time loop instead; both paths are bit-identical
+(same winner, same tie-breaks — the parity suite asserts it).
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..arch.units import ceil_div
 from ..nn.layer import LayerSpec
+from ..plancore import scalar_planner_enabled, stable_masked_argmin
 from .base import CandidatePlan, LayerSchedule, Policy, StepGroup, TileSizes, Traffic
 from .p4 import split_blocks
 
@@ -55,6 +69,134 @@ class TiledFallback(Policy):
         self, layer: LayerSpec, budget_elems: int, prefetch: bool
     ) -> CandidatePlan | None:
         """Search tile shapes; return the fewest-accesses feasible plan."""
+        if scalar_planner_enabled():
+            return self._plan_scalar(layer, budget_elems, prefetch)
+        params = self._search(layer, budget_elems, prefetch)
+        if params is None:
+            return None
+        return self._instantiate(layer, budget_elems, prefetch, *params)
+
+    def capacity_signature(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> object:
+        """The winning tile parameters (or None): everything plan() takes
+        from the budget.  Same winner ⇒ bit-identical plan."""
+        return self._search(layer, budget_elems, prefetch)
+
+    # ------------------------------------------------------------------
+    # Vectorized grid search (the default path)
+    # ------------------------------------------------------------------
+
+    def _search(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> tuple[int, int, int] | None:
+        """Winning ``(n_f, o_t, w_t)`` of the tile grid, or None.
+
+        Mirrors the scalar loop exactly: height-wise candidates first
+        (``w_t = O_W``), the width direction only when nothing fits.
+        """
+        n_limit = layer.in_c if layer.kind.is_depthwise else layer.num_filters
+        nf_vals = _candidate_values(n_limit)
+        ot_vals = _candidate_values(layer.out_h)
+        winner = self._grid_winner(
+            layer, budget_elems, prefetch, nf_vals, ot_vals, [layer.out_w]
+        )
+        if winner is None:
+            wt_vals = _candidate_values(layer.out_w)[:-1]
+            if wt_vals:
+                winner = self._grid_winner(
+                    layer, budget_elems, prefetch, nf_vals, ot_vals, wt_vals
+                )
+        return winner
+
+    def _grid_winner(
+        self,
+        layer: LayerSpec,
+        budget_elems: int,
+        prefetch: bool,
+        nf_vals: list[int],
+        ot_vals: list[int],
+        wt_vals: list[int],
+    ) -> tuple[int, int, int] | None:
+        """Best feasible candidate of one ``n_f × o_t × w_t`` grid.
+
+        Every per-candidate quantity of :meth:`_instantiate` has a closed
+        form: the band sum ``Σ covered_rows·covered_cols`` factors into
+        ``(Σ covered_rows)·(Σ covered_cols)`` because row and column
+        bands tile independently, and block sums collapse through
+        ``Σ count = ⌈total/n_f⌉`` and ``Σ count·size = total``.  The
+        winner minimizes ``(traffic, steps)`` with the earliest grid
+        index kept on exact ties — the same key and tie-break as the
+        scalar loop's strict-improvement ``consider()``.
+        """
+        # Candidate axes in the scalar loop's nesting order (n_f outer,
+        # o_t middle, w_t inner), flattened C-order.
+        n_f = np.repeat(
+            np.asarray(nf_vals, dtype=np.int64), len(ot_vals) * len(wt_vals)
+        )
+        o_t = np.tile(
+            np.repeat(np.asarray(ot_vals, dtype=np.int64), len(wt_vals)),
+            len(nf_vals),
+        )
+        w_t = np.tile(np.asarray(wt_vals, dtype=np.int64), len(nf_vals) * len(ot_vals))
+
+        depthwise = layer.kind.is_depthwise
+        row_step = min(layer.stride, layer.f_h)
+        col_step = min(layer.stride, layer.f_w)
+        filter_area = layer.f_h * layer.f_w
+
+        # Eq. (1) residency terms of every candidate.
+        window_cols = np.minimum(layer.padded_w, layer.f_w + (w_t - 1) * col_step)
+        window = layer.f_h * window_cols * (n_f if depthwise else 1)
+        filter_slice = filter_area * n_f
+        ofmap_tile = o_t * w_t * n_f
+        factor = 2 if prefetch else 1
+        feasible = factor * (window + filter_slice + ofmap_tile) <= budget_elems
+        if not bool(feasible.any()):
+            return None
+
+        # Band structure: Σ_bands covered_rows·covered_cols factors into
+        # (Σ_bh covered_rows)·(Σ_bw covered_cols).
+        bands_h = -(-layer.out_h // o_t)
+        bands_w = -(-layer.out_w // w_t)
+        rows_last = layer.out_h - (bands_h - 1) * o_t
+        cols_last = layer.out_w - (bands_w - 1) * w_t
+        cr_full = np.minimum(layer.padded_h, layer.f_h + (o_t - 1) * row_step)
+        cr_last = np.minimum(layer.padded_h, layer.f_h + (rows_last - 1) * row_step)
+        cc_full = np.minimum(layer.padded_w, layer.f_w + (w_t - 1) * col_step)
+        cc_last = np.minimum(layer.padded_w, layer.f_w + (cols_last - 1) * col_step)
+        sum_rows = (bands_h - 1) * cr_full + cr_last
+        sum_cols = (bands_w - 1) * cc_full + cc_last
+        bands = bands_h * bands_w
+
+        # Filter blocking: Σ count = ⌈total/n_f⌉ blocks, Σ count·size = total.
+        total_items = layer.in_c if depthwise else layer.num_filters
+        num_blocks = -(-total_items // n_f)
+
+        if depthwise:
+            total_ifmap = sum_rows * sum_cols * layer.in_c
+            total_filters = bands * filter_area * layer.in_c
+            num_steps = bands * num_blocks
+        else:
+            chan_iters = layer.in_c
+            total_ifmap = sum_rows * sum_cols * chan_iters * num_blocks
+            total_filters = bands * chan_iters * filter_area * layer.num_filters
+            num_steps = bands * num_blocks * (chan_iters + 1)
+        traffic_total = total_ifmap + total_filters + layer.ofmap_elems
+
+        index = stable_masked_argmin(feasible, traffic_total, num_steps)
+        if index is None:
+            return None
+        return (int(n_f[index]), int(o_t[index]), int(w_t[index]))
+
+    # ------------------------------------------------------------------
+    # Scalar path (parity oracle, REPRO_SCALAR_PLANNER=1)
+    # ------------------------------------------------------------------
+
+    def _plan_scalar(
+        self, layer: LayerSpec, budget_elems: int, prefetch: bool
+    ) -> CandidatePlan | None:
+        """The original candidate-at-a-time search (kept as parity oracle)."""
         best: CandidatePlan | None = None
         best_key: tuple[int, int] | None = None
         n_limit = layer.in_c if layer.kind.is_depthwise else layer.num_filters
