@@ -35,6 +35,24 @@ Catalog overview
   ``plan_cached``, ``handle_*`` serve endpoint handlers), any
   *transitively reachable* nondeterminism source
   is flagged with its call chain.
+* ``R060``–``R066`` — the **concurrency-safety** pack (project scope):
+  the serve daemon is the first genuinely concurrent subsystem
+  (``ThreadingHTTPServer`` handler threads, loadgen client thunks,
+  drain/signal paths, process-pool initializers).  Thread roots are
+  derived from the call graph (:mod:`repro.analysis.threadroots`), and
+  shared mutable state written from two or more roots without a lock,
+  broken lock discipline (non-``finally`` release, lock-order
+  inversion, blocking while holding), fork-after-threads hazards,
+  non-atomic ``O_APPEND`` journal writes and non-daemon thread leaks
+  are flagged with their witness chains.
+* ``R070``–``R074`` — the **value-range** pack (project scope): an
+  interval abstract interpreter (:mod:`repro.analysis.interval`) over
+  the estimator/plancore int64 closed forms, seeded from the declared
+  spec bounds in :mod:`repro.arch.bounds`.  A NumPy int64 wraparound
+  raises no error — it silently corrupts plans — so every int64
+  intermediate must be *provably* below 2**63 over the supported spec
+  space, and int→float promotion, float64 precision loss past 2**53,
+  dtype mixing and possibly-zero divisors are flagged alongside.
 """
 
 from __future__ import annotations
@@ -67,6 +85,18 @@ RULE_TITLES: dict[str, str] = {
     "R051": "environment read reachable from determinism root",
     "R052": "unordered set iteration reachable from cache-key path",
     "R053": "unsorted JSON serialization reachable from cache-key path",
+    "R060": "unlocked shared-state write reachable from multiple thread roots",
+    "R061": "lock acquired without finally-guarded release",
+    "R062": "lock-order inversion across flock and in-process locks",
+    "R063": "process pool created on a path after thread start",
+    "R064": "non-atomic append to O_APPEND journal",
+    "R065": "blocking call while holding a lock",
+    "R066": "non-daemon thread not joined before drain",
+    "R070": "int64 overflow not provable within declared spec bounds",
+    "R071": "silent int-to-float promotion in batch arithmetic",
+    "R072": "float64 precision loss for integer quantity beyond 2**53",
+    "R073": "mixed dtypes across a NumPy operation",
+    "R074": "unguarded division by a possibly-zero quantity",
 }
 
 #: code → full description (the invariant that must hold).
@@ -233,10 +263,93 @@ RULE_DESCRIPTIONS: dict[str, str] = {
         "construction may call ``json.dumps`` without "
         "``sort_keys=True`` — the whole-program extension of R014."
     ),
+    "R060": (
+        "Shared mutable state (module globals, attributes of module-"
+        "level singletons such as the metrics registry or the plan "
+        "cache) must not be written by code reachable from two or more "
+        "thread roots unless every write happens inside a "
+        "``threading.Lock``/``flock`` region: concurrent handler "
+        "threads lose increments and tear multi-field updates "
+        "silently."
+    ),
+    "R061": (
+        "A lock acquired with ``.acquire()`` must be released in a "
+        "``finally`` block (or replaced by a ``with`` statement): an "
+        "exception between acquire and release deadlocks every other "
+        "thread that touches the lock."
+    ),
+    "R062": (
+        "Functions must take the journal file lock (``flock``) and "
+        "in-process ``threading.Lock`` instances in one global order — "
+        "one path acquiring the flock inside an in-process lock while "
+        "another nests them the other way around deadlocks under "
+        "contention."
+    ),
+    "R063": (
+        "A ``ProcessPoolExecutor``/``multiprocessing.Pool`` must not "
+        "be created on a call path that has already started a thread: "
+        "``fork`` clones only the forking thread, so locks held by "
+        "other threads at fork time stay locked forever in the child."
+    ),
+    "R064": (
+        "Appends to an ``O_APPEND`` journal must be a single "
+        "``os.write`` of one newline-terminated record no larger than "
+        "``PIPE_BUF``-scale writes: multiple ``write()`` calls or "
+        "oversized buffers interleave across processes and corrupt the "
+        "journal."
+    ),
+    "R065": (
+        "Code holding a ``threading.Lock`` must not make blocking "
+        "calls — pool ``submit``/``map``/``shutdown``, ``join``, HTTP "
+        "requests, ``sleep`` — because every other thread contending "
+        "for the lock stalls behind the blocked holder."
+    ),
+    "R066": (
+        "A non-daemon ``threading.Thread`` must be ``join``-ed by the "
+        "function that starts it (or handed to a drain path that "
+        "joins it): a leaked non-daemon thread keeps the process alive "
+        "past shutdown and past the serve drain sequence."
+    ),
+    "R070": (
+        "Every int64 intermediate in the estimator/plancore closed "
+        "forms must be provably below 2**63 when evaluated over the "
+        "declared spec bounds (``repro.arch.bounds``): NumPy int64 "
+        "arithmetic wraps silently, so an unprovable product of layer "
+        "dims, data widths and traffic counts is a latent plan "
+        "corrupter."
+    ),
+    "R071": (
+        "Integer-unit batch expressions must not silently promote to "
+        "float (true division or float operands on ``*_bytes``/"
+        "``*_elems`` int64 arrays) except at the documented latency/"
+        "energy boundaries: exact Eq. (1) capacity comparisons must "
+        "stay in integer arithmetic."
+    ),
+    "R072": (
+        "An integer quantity whose worst-case bound exceeds 2**53 "
+        "must not flow through float64 (division, ``float()`` casts, "
+        "float dtype arrays): above 2**53 float64 cannot represent "
+        "every integer and equality/ordering comparisons silently "
+        "lose exactness."
+    ),
+    "R073": (
+        "Operands of one NumPy binary operation must share a dtype "
+        "family (both int64 or both float64): mixed int/float "
+        "operands promote per NumPy casting rules, which differ "
+        "between platforms and silently change the result dtype "
+        "downstream."
+    ),
+    "R074": (
+        "A division whose divisor's interval includes zero must be "
+        "guarded (validated positive, or branched on) before the "
+        "divide: bandwidths, rates and GLB sizes are validated at "
+        "spec construction, but derived divisors need their own "
+        "guard."
+    ),
 }
 
 #: code → rule pack ("engine", "units", "determinism", "registry",
-#: "observability", "unitflow", "reachability").
+#: "observability", "unitflow", "reachability", "concurrency", "range").
 RULE_PACKS: dict[str, str] = {
     "R000": "engine",
     "R001": "units",
@@ -264,10 +377,30 @@ RULE_PACKS: dict[str, str] = {
     "R051": "reachability",
     "R052": "reachability",
     "R053": "reachability",
+    "R060": "concurrency",
+    "R061": "concurrency",
+    "R062": "concurrency",
+    "R063": "concurrency",
+    "R064": "concurrency",
+    "R065": "concurrency",
+    "R066": "concurrency",
+    "R070": "range",
+    "R071": "range",
+    "R072": "range",
+    "R073": "range",
+    "R074": "range",
 }
 
 #: Codes reported as warnings (hazards) rather than errors (defects).
-WARNING_CODES: frozenset[str] = frozenset({"R004", "R011", "R051"})
+#: R065/R066 are hazards (a blocked holder or leaked thread degrades
+#: rather than corrupts); R071 is a hazard (promotion is often the
+#: documented latency boundary, the corruption cases are R070/R072).
+WARNING_CODES: frozenset[str] = frozenset(
+    {"R004", "R011", "R051", "R065", "R066", "R071"}
+)
+
+#: All pack names, in catalog order of their first code.
+ALL_PACKS: tuple[str, ...] = tuple(dict.fromkeys(RULE_PACKS.values()))
 
 #: All catalog codes in numeric order.
 ALL_RULE_CODES: tuple[str, ...] = tuple(sorted(RULE_TITLES))

@@ -202,8 +202,10 @@ def rule(code: str, scope: str = "file") -> Callable[[Checker], Checker]:
 def all_rules() -> RuleRegistry:
     """Import the rule packs and return the populated registry."""
     from . import (
+        concurrency_rules,
         determinism_rules,
         obs_rules,
+        range_rules,
         reach_rules,
         registry_rules,
         unit_rules,
@@ -211,8 +213,10 @@ def all_rules() -> RuleRegistry:
     )
 
     assert (
-        determinism_rules
+        concurrency_rules
+        and determinism_rules
         and obs_rules
+        and range_rules
         and reach_rules
         and registry_rules
         and unit_rules

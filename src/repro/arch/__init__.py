@@ -1,5 +1,17 @@
 """Accelerator architecture description and unit helpers."""
 
+from .bounds import (
+    MAX_BYTES_PER_ELEM,
+    MAX_CHANNELS,
+    MAX_DATA_WIDTH_BITS,
+    MAX_DRAM_CAPACITY_BYTES,
+    MAX_FEATURE_DIM,
+    MAX_GLB_BYTES,
+    MAX_KERNEL_DIM,
+    MAX_LAYER_MACS,
+    MAX_LAYER_TRAFFIC_ELEMS,
+    MAX_MODEL_LAYERS,
+)
 from .spec import (
     DEFAULT_SPEC,
     PAPER_DATA_WIDTHS,
@@ -13,6 +25,16 @@ __all__ = [
     "DEFAULT_SPEC",
     "PAPER_GLB_SIZES",
     "PAPER_DATA_WIDTHS",
+    "MAX_BYTES_PER_ELEM",
+    "MAX_CHANNELS",
+    "MAX_DATA_WIDTH_BITS",
+    "MAX_DRAM_CAPACITY_BYTES",
+    "MAX_FEATURE_DIM",
+    "MAX_GLB_BYTES",
+    "MAX_KERNEL_DIM",
+    "MAX_LAYER_MACS",
+    "MAX_LAYER_TRAFFIC_ELEMS",
+    "MAX_MODEL_LAYERS",
     "KIB",
     "MIB",
     "kib",

@@ -16,6 +16,13 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
+from .bounds import (
+    MAX_DATA_WIDTH_BITS,
+    MAX_DRAM_BANDWIDTH_ELEMS_PER_CYCLE,
+    MAX_GLB_BYTES,
+    MAX_OPS_PER_CYCLE,
+    MAX_PE_DIM,
+)
 from .units import kib
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
@@ -86,6 +93,36 @@ class AcceleratorSpec:
         if self.dram_bandwidth_elems_per_cycle <= 0:
             problems.append(
                 f"dram_bandwidth_elems_per_cycle must be positive, got "
+                f"{self.dram_bandwidth_elems_per_cycle}"
+            )
+        # Upper bounds of the supported spec space (repro.arch.bounds):
+        # the R070 overflow prover guarantees the int64 closed forms only
+        # inside them, so accepting a larger spec would trade a loud
+        # ValueError here for a silent wraparound later.
+        if self.pe_rows > MAX_PE_DIM or self.pe_cols > MAX_PE_DIM:
+            problems.append(
+                f"PE array dimensions must be at most {MAX_PE_DIM}, got "
+                f"{self.pe_rows}x{self.pe_cols}"
+            )
+        if self.ops_per_cycle > MAX_OPS_PER_CYCLE:
+            problems.append(
+                f"ops_per_cycle must be at most {MAX_OPS_PER_CYCLE}, got "
+                f"{self.ops_per_cycle}"
+            )
+        if self.data_width_bits > MAX_DATA_WIDTH_BITS:
+            problems.append(
+                f"data_width_bits must be at most {MAX_DATA_WIDTH_BITS}, "
+                f"got {self.data_width_bits}"
+            )
+        if self.glb_bytes > MAX_GLB_BYTES:
+            problems.append(
+                f"glb_bytes must be at most {MAX_GLB_BYTES}, got "
+                f"{self.glb_bytes}"
+            )
+        if self.dram_bandwidth_elems_per_cycle > MAX_DRAM_BANDWIDTH_ELEMS_PER_CYCLE:
+            problems.append(
+                f"dram_bandwidth_elems_per_cycle must be at most "
+                f"{MAX_DRAM_BANDWIDTH_ELEMS_PER_CYCLE}, got "
                 f"{self.dram_bandwidth_elems_per_cycle}"
             )
         if problems:

@@ -17,14 +17,18 @@ equals the paper's flat 16 bytes/cycle — so the flat model is exactly the
 idealized, zero-overhead limit of this one, and DRAM-aware latencies are
 lower-bounded by the paper's numbers (verifier code ``V018``).
 
-This module is deliberately leaf-level: it imports nothing from the rest
-of the library so that :mod:`repro.arch.spec` can reference it without an
-import cycle.
+This module is deliberately near-leaf-level: it imports only the
+:mod:`repro.arch.bounds` constants (themselves leaf-level) so that
+:mod:`repro.arch.spec` can reference it without an import cycle, and so
+that the capacity ceiling it validates is the same one the R070 overflow
+prover assumes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from ..arch.bounds import MAX_DRAM_CAPACITY_BYTES
 
 #: Mapping-policy names accepted by :attr:`DramSpec.mapping`
 #: (mirrored by :data:`repro.dram.mapping.MAPPING_NAMES`; kept here so the
@@ -105,6 +109,20 @@ class DramSpec:
         if self.mapping not in KNOWN_MAPPINGS:
             problems.append(
                 f"mapping must be one of {', '.join(KNOWN_MAPPINGS)}, got {self.mapping!r}"
+            )
+        # The supported-spec-space ceiling (repro.arch.bounds): the R070
+        # overflow prover assumes capacities below it, and address
+        # arithmetic in the trace backend is only proven inside it.
+        capacity = (
+            self.channels
+            * self.banks_per_channel
+            * self.rows_per_bank
+            * self.row_bytes
+        )
+        if capacity > MAX_DRAM_CAPACITY_BYTES:
+            problems.append(
+                f"device capacity must be at most {MAX_DRAM_CAPACITY_BYTES} "
+                f"bytes, got {capacity}"
             )
         if problems:
             raise ValueError("invalid DramSpec: " + "; ".join(problems))

@@ -82,11 +82,15 @@ class EnergyBreakdown:
 DEFAULT_ENERGY_MODEL = EnergyModel()
 
 
-def _sram_bytes_for_macs(macs: int, dram_bytes: int, bytes_per_elem: int) -> float:
+def _sram_bytes_for_macs(macs: int, dram_bytes: int, bytes_per_elem: int) -> int:
     """On-chip traffic estimate: every MAC reads two operands and writes
     one partial sum through the local hierarchy, plus every DRAM byte
-    crosses the scratchpad once on its way in/out."""
-    return 3.0 * macs * bytes_per_elem + dram_bytes
+    crosses the scratchpad once on its way in/out.
+
+    Stays in exact integer arithmetic — the byte count can exceed
+    ``2**53``, where a float64 intermediate would silently round.
+    """
+    return 3 * macs * bytes_per_elem + dram_bytes
 
 
 def plan_energy(

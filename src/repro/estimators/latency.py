@@ -295,7 +295,7 @@ def schedule_latency_batch(
             if i not in totals_by_index:
                 totals_by_index[i] = _scalar_total(schedules[i], bw, rate, flag)
         for i in rows:
-            _TOTALS_MEMO[(schedules[i], bw, rate, flag)] = totals_by_index[i]
+            _TOTALS_MEMO[(schedules[i], bw, rate, flag)] = totals_by_index[i]  # repro: noqa[R060] -- benign race: idempotent memo put of a deterministic value; dict item assignment is atomic under the GIL
     results: list[LatencyBreakdown] = []
     for i, schedule in enumerate(schedules):
         compute = schedule.total_macs / rate

@@ -57,7 +57,8 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass, fields
+import threading
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Callable, TypeVar
 
@@ -88,34 +89,62 @@ _SENTINEL = object()
 
 @dataclass
 class CacheStats:
-    """Hit/miss/store/eviction counters for the current process."""
+    """Hit/miss/store/eviction counters for the current process.
+
+    Thread-safe: the serve daemon's handler threads all bump the
+    module-level instance, so every increment goes through the lock.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    _lock: Any = field(default_factory=threading.Lock, repr=False, compare=False)
+
+    def count_hit(self) -> None:
+        """Record one cache hit under the stats lock."""
+        with self._lock:
+            self.hits += 1
+
+    def count_miss(self) -> None:
+        """Record one cache miss under the stats lock."""
+        with self._lock:
+            self.misses += 1
+
+    def count_store(self) -> None:
+        """Record one store under the stats lock."""
+        with self._lock:
+            self.stores += 1
+
+    def count_evictions(self, amount: int) -> None:
+        """Record evicted entries under the stats lock."""
+        with self._lock:
+            self.evictions += amount
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.hits = self.misses = self.stores = self.evictions = 0
+        with self._lock:
+            self.hits = self.misses = self.stores = self.evictions = 0
 
     def snapshot(self) -> dict[str, int]:
         """Return the counters as a plain (picklable) dict."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "stores": self.stores,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "evictions": self.evictions,
+            }
 
     def add(self, other: "CacheStats | dict[str, int]") -> None:
         """Accumulate another counter set (e.g. a worker's snapshot)."""
         if isinstance(other, CacheStats):
             other = other.snapshot()
-        self.hits += other.get("hits", 0)
-        self.misses += other.get("misses", 0)
-        self.stores += other.get("stores", 0)
-        self.evictions += other.get("evictions", 0)
+        with self._lock:
+            self.hits += other.get("hits", 0)
+            self.misses += other.get("misses", 0)
+            self.stores += other.get("stores", 0)
+            self.evictions += other.get("evictions", 0)
 
 
 #: Process-wide counters; worker processes each get their own copy and the
@@ -292,7 +321,7 @@ def store(key: str, value: Any) -> None:
         with os.fdopen(fd, "wb") as handle:
             pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, path)
-        stats.stores += 1
+        stats.count_store()
         metrics_registry().counter("plan_cache_stores_count").add(1)
     except OSError:
         try:
@@ -314,7 +343,7 @@ def store(key: str, value: Any) -> None:
 def _count_eviction(result: PruneResult) -> PruneResult:
     """Fold one prune outcome into the process counters/metrics."""
     if result.evicted_count:
-        stats.evictions += result.evicted_count
+        stats.count_evictions(result.evicted_count)
         metrics_registry().counter("plan_cache_evictions_count").add(
             result.evicted_count
         )
@@ -331,11 +360,11 @@ def lookup(key: str) -> tuple[bool, Any]:
     """
     cached = load(key)
     if cached is not _SENTINEL:
-        stats.hits += 1
+        stats.count_hit()
         metrics_registry().counter("plan_cache_hits_count").add(1)
         index().record(key, 0)  # size backfilled from disk at reconcile
         return True, cached
-    stats.misses += 1
+    stats.count_miss()
     metrics_registry().counter("plan_cache_misses_count").add(1)
     return False, None
 

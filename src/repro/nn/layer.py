@@ -15,6 +15,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..arch.bounds import (
+    MAX_CHANNELS,
+    MAX_FEATURE_DIM,
+    MAX_KERNEL_DIM,
+    MAX_LAYER_MACS,
+    MAX_PADDING,
+    MAX_STRIDE,
+    MAX_TENSOR_ELEMS,
+)
+
 
 class LayerKind(enum.Enum):
     """Layer types appearing in Table 2 of the paper."""
@@ -102,6 +112,38 @@ class LayerSpec:
         # Trigger output-shape validation eagerly so bad specs fail fast.
         conv_out_extent(self.in_h, self.f_h, self.stride, self.padding)
         conv_out_extent(self.in_w, self.f_w, self.stride, self.padding)
+        # Supported-spec-space ceilings (repro.arch.bounds): the R070
+        # overflow prover guarantees the planner's int64 closed forms
+        # only for layers inside them, so an oversized layer must fail
+        # loudly here rather than wrap silently there.
+        for field_name, cap in (
+            ("in_h", MAX_FEATURE_DIM),
+            ("in_w", MAX_FEATURE_DIM),
+            ("in_c", MAX_CHANNELS),
+            ("f_h", MAX_KERNEL_DIM),
+            ("f_w", MAX_KERNEL_DIM),
+            ("num_filters", MAX_CHANNELS),
+            ("stride", MAX_STRIDE),
+            ("padding", MAX_PADDING),
+        ):
+            value = getattr(self, field_name)
+            if value > cap:
+                raise ValueError(
+                    f"{self.name}: {field_name} must be at most {cap}, got {value}"
+                )
+        largest_tensor = max(
+            self.ifmap_padded_elems, self.filter_elems, self.ofmap_elems
+        )
+        if largest_tensor > MAX_TENSOR_ELEMS:
+            raise ValueError(
+                f"{self.name}: tensor footprint {largest_tensor} elems exceeds "
+                f"the supported bound {MAX_TENSOR_ELEMS}"
+            )
+        if self.macs > MAX_LAYER_MACS:
+            raise ValueError(
+                f"{self.name}: {self.macs} MACs exceed the supported bound "
+                f"{MAX_LAYER_MACS}"
+            )
 
     # ------------------------------------------------------------------
     # Derived shapes

@@ -43,39 +43,51 @@ def _check_name(name: str) -> str:
 
 
 class Counter:
-    """A monotonically increasing value."""
+    """A monotonically increasing value (thread-safe).
 
-    __slots__ = ("name", "value")
+    Handler threads all bump the same instrument, so the increment —
+    a read-modify-write on a float — takes a per-instrument lock.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def add(self, amount: int | float = 1) -> None:
         """Increase the counter (negative amounts are rejected)."""
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (add {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins; thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: int | float) -> None:
         """Record the current value."""
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
 
 class Histogram:
-    """Streaming distribution summary: count / sum / min / max."""
+    """Streaming distribution summary: count / sum / min / max.
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Thread-safe: observations and snapshot merges mutate several fields
+    that must stay mutually consistent, so both take the instrument lock.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -83,26 +95,41 @@ class Histogram:
         self.total = 0.0
         self.min = 0.0
         self.max = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: int | float) -> None:
         """Record one observation."""
         value = float(value)
-        if self.count == 0:
-            self.min = self.max = value
-        else:
-            self.min = min(self.min, value)
-            self.max = max(self.max, value)
-        self.count += 1
-        self.total += value
+        with self._lock:
+            if self.count == 0:
+                self.min = self.max = value
+            else:
+                self.min = min(self.min, value)
+                self.max = max(self.max, value)
+            self.count += 1
+            self.total += value
+
+    def merge_summary(self, summary: dict[str, float]) -> None:
+        """Pool another histogram's summary into this one."""
+        with self._lock:
+            if self.count == 0:
+                self.min = summary["min"]
+                self.max = summary["max"]
+            else:
+                self.min = min(self.min, summary["min"])
+                self.max = max(self.max, summary["max"])
+            self.count += int(summary["count"])
+            self.total += summary["sum"]
 
     def summary(self) -> dict[str, float]:
         """The distribution summary as a plain dict."""
-        return {
-            "count": float(self.count),
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-        }
+        with self._lock:
+            return {
+                "count": float(self.count),
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+            }
 
 
 #: Shape of :meth:`MetricsRegistry.snapshot` — picklable, JSON-safe.
@@ -168,16 +195,7 @@ class MetricsRegistry:
             assert isinstance(summary, dict)
             if not summary.get("count"):
                 continue
-            hist = self.histogram(name)
-            with self._lock:
-                if hist.count == 0:
-                    hist.min = summary["min"]
-                    hist.max = summary["max"]
-                else:
-                    hist.min = min(hist.min, summary["min"])
-                    hist.max = max(hist.max, summary["max"])
-                hist.count += int(summary["count"])
-                hist.total += summary["sum"]
+            self.histogram(name).merge_summary(summary)
 
     def reset(self) -> None:
         """Drop every instrument (used by tests and worker initializers)."""

@@ -1,0 +1,835 @@
+"""Tests for the concurrency-safety (R060–R066) and value-range
+(R070–R074) packs.
+
+Each rule gets a seeded firing fixture and a clean fixture; the
+archetypal cases from the issue — an unlocked shared counter reachable
+from handler threads (R060, witness chain asserted) and an int64
+product exceeding 2**63 over the declared spec bounds (R070) — are
+covered explicitly, plus the SARIF round-trip for both packs and the
+``--packs`` / ``--changed-files`` selection modes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+from repro.cli import main
+from repro.report.diagnostics import validate_sarif_payload
+from repro.report.sarif import FINGERPRINT_KEY, sarif_payload
+
+from .test_interproc import active_codes, mini_project
+
+
+# ----------------------------------------------------------------------
+# R060 — unlocked shared-state writes under multiple thread contexts
+# ----------------------------------------------------------------------
+
+
+def test_r060_fires_on_unlocked_counter_from_handler(tmp_path: Path) -> None:
+    """The seeded race: handler threads bump a shared counter unlocked."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/counts.py": (
+                "class Stats:\n"
+                "    def __init__(self):\n"
+                "        self.hits = 0\n"
+                "    def bump(self):\n"
+                "        self.hits += 1\n"
+                "stats = Stats()\n"
+                "def record():\n"
+                "    stats.bump()\n"
+            ),
+            "pkg/srv.py": (
+                "from pkg.counts import record\n"
+                "def handle_status(request):\n"
+                "    record()\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r060 = [f for f in report if f.code == "R060" and f.active]
+    assert r060, "unlocked shared counter under handler threads must fire"
+    (finding,) = [f for f in r060 if "self.hits" in f.message]
+    assert "handle_status" in finding.message, "witness root missing"
+    assert "->" in finding.message, "witness call chain missing"
+    assert "bump" in finding.message
+
+
+def test_r060_fires_on_pool_client_lambda_thunks(tmp_path: Path) -> None:
+    """Load-generator shape: ThreadPoolExecutor lambda thunks race."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/gen.py": (
+                "from concurrent.futures import ThreadPoolExecutor\n"
+                "results = {}\n"
+                "def work(job):\n"
+                "    results[job] = job\n"
+                "def fan_out(jobs):\n"
+                "    with ThreadPoolExecutor(max_workers=4) as pool:\n"
+                "        list(pool.map(lambda j: work(j), jobs))\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r060 = [f for f in report if f.code == "R060" and f.active]
+    assert any("results[job]" in f.message for f in r060)
+
+
+def test_r060_clean_when_write_is_locked(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/counts.py": (
+                "import threading\n"
+                "class Stats:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self.hits = 0\n"
+                "    def bump(self):\n"
+                "        with self._lock:\n"
+                "            self.hits += 1\n"
+                "stats = Stats()\n"
+                "def handle_status(request):\n"
+                "    stats.bump()\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R060" not in active_codes(report)
+
+
+def test_r060_ignores_process_isolated_roots(tmp_path: Path) -> None:
+    """Pool workers share no memory: one isolated root never fires."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/w.py": (
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "totals = {}\n"
+                "def work(job):\n"
+                "    totals[job] = job\n"
+                "def run(jobs):\n"
+                "    with ProcessPoolExecutor() as pool:\n"
+                "        list(pool.map(work, jobs))\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R060" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R061 — unpaired / non-finally lock release
+# ----------------------------------------------------------------------
+
+
+def test_r061_fires_on_release_outside_finally(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/locks.py": (
+                "import threading\n"
+                "lock = threading.Lock()\n"
+                "def bad():\n"
+                "    lock.acquire()\n"
+                "    lock.release()\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r061 = [f for f in report if f.code == "R061" and f.active]
+    assert r061 and "finally" in r061[0].message
+
+
+def test_r061_fires_on_missing_release(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/locks.py": (
+                "import threading\n"
+                "lock = threading.Lock()\n"
+                "def bad():\n"
+                "    lock.acquire()\n"
+                "    return 1\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r061 = [f for f in report if f.code == "R061" and f.active]
+    assert r061 and "no" in r061[0].message and "release" in r061[0].message
+
+
+def test_r061_clean_with_try_finally_and_with(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/locks.py": (
+                "import threading\n"
+                "lock = threading.Lock()\n"
+                "def good():\n"
+                "    lock.acquire()\n"
+                "    try:\n"
+                "        return 1\n"
+                "    finally:\n"
+                "        lock.release()\n"
+                "def better():\n"
+                "    with lock:\n"
+                "        return 2\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R061" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R062 — lock-order inversion
+# ----------------------------------------------------------------------
+
+
+def test_r062_fires_on_opposite_nesting(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/order.py": (
+                "import threading\n"
+                "lock_a = threading.Lock()\n"
+                "lock_b = threading.Lock()\n"
+                "def one():\n"
+                "    with lock_a:\n"
+                "        with lock_b:\n"
+                "            pass\n"
+                "def two():\n"
+                "    with lock_b:\n"
+                "        with lock_a:\n"
+                "            pass\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r062 = [f for f in report if f.code == "R062" and f.active]
+    assert r062 and "opposite order" in r062[0].message
+
+
+def test_r062_fires_through_callee_acquisition(tmp_path: Path) -> None:
+    """Inner lock taken by a callee still inverts against a direct nest."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/order.py": (
+                "import threading\n"
+                "lock_a = threading.Lock()\n"
+                "lock_b = threading.Lock()\n"
+                "def takes_a():\n"
+                "    with lock_a:\n"
+                "        pass\n"
+                "def one():\n"
+                "    with lock_b:\n"
+                "        takes_a()\n"
+                "def two():\n"
+                "    with lock_a:\n"
+                "        with lock_b:\n"
+                "            pass\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R062" in active_codes(report)
+
+
+def test_r062_clean_with_consistent_order(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/order.py": (
+                "import threading\n"
+                "lock_a = threading.Lock()\n"
+                "lock_b = threading.Lock()\n"
+                "def one():\n"
+                "    with lock_a:\n"
+                "        with lock_b:\n"
+                "            pass\n"
+                "def two():\n"
+                "    with lock_a:\n"
+                "        with lock_b:\n"
+                "            pass\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R062" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R063 — fork after threads
+# ----------------------------------------------------------------------
+
+
+def test_r063_fires_on_pool_after_thread_start(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/forked.py": (
+                "import threading\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def work():\n"
+                "    pass\n"
+                "def run():\n"
+                "    t = threading.Thread(target=work, daemon=True)\n"
+                "    t.start()\n"
+                "    pool = ProcessPoolExecutor()\n"
+                "    return pool, t\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r063 = [f for f in report if f.code == "R063" and f.active]
+    assert r063 and "fork" in r063[0].message
+
+
+def test_r063_clean_when_pool_created_first(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/forked.py": (
+                "import threading\n"
+                "from concurrent.futures import ProcessPoolExecutor\n"
+                "def work():\n"
+                "    pass\n"
+                "def run():\n"
+                "    pool = ProcessPoolExecutor()\n"
+                "    t = threading.Thread(target=work, daemon=True)\n"
+                "    t.start()\n"
+                "    return pool, t\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R063" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R064 — non-atomic O_APPEND journal appends
+# ----------------------------------------------------------------------
+
+
+def test_r064_fires_on_second_append_write(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/journal.py": (
+                "import os\n"
+                "def record(path, key, size):\n"
+                "    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT)\n"
+                "    os.write(fd, key.encode())\n"
+                "    os.write(fd, str(size).encode())\n"
+                "    os.close(fd)\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r064 = [f for f in report if f.code == "R064" and f.active]
+    assert r064 and "atomic" in r064[0].message
+
+
+def test_r064_clean_with_single_write(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/journal.py": (
+                "import os\n"
+                "def record(path, key, size):\n"
+                "    line = f'{key} {size}\\n'.encode()\n"
+                "    fd = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT)\n"
+                "    os.write(fd, line)\n"
+                "    os.close(fd)\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R064" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R065 — blocking call under lock (warning)
+# ----------------------------------------------------------------------
+
+
+def test_r065_fires_on_sleep_under_lock(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/slow.py": (
+                "import threading\n"
+                "import time\n"
+                "lock = threading.Lock()\n"
+                "def slow():\n"
+                "    with lock:\n"
+                "        time.sleep(0.1)\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r065 = [f for f in report if f.code == "R065" and f.active]
+    assert r065 and r065[0].severity.value == "warning"
+
+
+def test_r065_clean_when_blocking_outside_lock(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/slow.py": (
+                "import threading\n"
+                "import time\n"
+                "lock = threading.Lock()\n"
+                "def slow():\n"
+                "    with lock:\n"
+                "        pass\n"
+                "    time.sleep(0.1)\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R065" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R066 — leaked non-daemon threads (warning)
+# ----------------------------------------------------------------------
+
+
+def test_r066_fires_on_unjoined_nondaemon_thread(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/spawn.py": (
+                "import threading\n"
+                "def work():\n"
+                "    pass\n"
+                "def run():\n"
+                "    t = threading.Thread(target=work)\n"
+                "    t.start()\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r066 = [f for f in report if f.code == "R066" and f.active]
+    assert r066 and "join" in r066[0].message
+
+
+def test_r066_clean_when_joined_daemon_or_returned(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/spawn.py": (
+                "import threading\n"
+                "def work():\n"
+                "    pass\n"
+                "def joined():\n"
+                "    t = threading.Thread(target=work)\n"
+                "    t.start()\n"
+                "    t.join()\n"
+                "def daemonic():\n"
+                "    t = threading.Thread(target=work, daemon=True)\n"
+                "    t.start()\n"
+                "def handed_back():\n"
+                "    t = threading.Thread(target=work)\n"
+                "    t.start()\n"
+                "    return t\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R066" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R070 — int64 overflow prover
+# ----------------------------------------------------------------------
+
+
+def test_r070_fires_on_seeded_overflow(tmp_path: Path) -> None:
+    """macs × elems over declared bounds reaches 2**88 ≥ 2**63."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/vec.py": (
+                "import numpy as np\n"
+                "def layer_products(layers):\n"
+                "    macs = np.array([la.macs for la in layers], dtype=np.int64)\n"
+                "    elems = np.array([la.ifmap_elems for la in layers], dtype=np.int64)\n"
+                "    total = macs * elems\n"
+                "    return total\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r070 = [f for f in report if f.code == "R070" and f.active]
+    assert r070, "out-of-bounds int64 product must fail the proof"
+    assert "2**63" in r070[0].message
+
+
+def test_r070_proves_bounded_closed_form_clean(tmp_path: Path) -> None:
+    """elems × bytes_per_elem summed over layers stays below 2**63."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/vec.py": (
+                "import numpy as np\n"
+                "def model_bytes(layers, bytes_per_elem):\n"
+                "    elems = np.array([la.ifmap_elems for la in layers], dtype=np.int64)\n"
+                "    scaled = elems * bytes_per_elem\n"
+                "    return int(scaled.sum())\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R070" not in active_codes(report)
+
+
+def test_r070_repo_closed_forms_prove_clean() -> None:
+    """The acceptance proof: the real estimator/plancore arithmetic
+    carries no unprovable int64 intermediate over the declared bounds."""
+    repo_root = Path(__file__).resolve().parent.parent
+    report = analyze_paths(
+        [repo_root / "src" / "repro"], root=repo_root, use_baseline=False
+    )
+    assert not [f for f in report if f.code == "R070" and f.active]
+
+
+# ----------------------------------------------------------------------
+# R071 — silent int→float promotion into an integer-unit name
+# ----------------------------------------------------------------------
+
+
+def test_r071_fires_on_promoted_batch_binding(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/promo.py": (
+                "import numpy as np\n"
+                "def halves(layers):\n"
+                "    elems = np.array([la.in_c for la in layers], dtype=np.float64)\n"
+                "    half_elems = elems / 2\n"
+                "    return half_elems\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r071 = [f for f in report if f.code == "R071" and f.active]
+    assert r071 and "half_elems" in r071[0].message
+
+
+def test_r071_clean_for_float_named_binding(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/promo.py": (
+                "import numpy as np\n"
+                "def halves(layers):\n"
+                "    elems = np.array([la.in_c for la in layers], dtype=np.float64)\n"
+                "    half_ratio = elems / 2\n"
+                "    return half_ratio\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R071" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R072 — float64 precision loss treated as exact
+# ----------------------------------------------------------------------
+
+
+def test_r072_fires_on_integer_unit_binding_of_lossy_float(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/prec.py": (
+                "def per_item(total_bytes, count):\n"
+                "    avg_bytes = total_bytes / count\n"
+                "    return avg_bytes\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r072 = [f for f in report if f.code == "R072" and f.active]
+    assert r072 and "2**53" in r072[0].message
+    assert "total_bytes" in r072[0].message
+
+
+def test_r072_fires_on_int_round_trip(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/prec.py": (
+                "def per_item(total_bytes, count):\n"
+                "    return int(total_bytes / count)\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R072" in active_codes(report)
+
+
+def test_r072_clean_for_ratio_reporting(tmp_path: Path) -> None:
+    """A float used as a float — a percentage — never fires."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/prec.py": (
+                "def pct(total_bytes, bound_bytes):\n"
+                "    if not bound_bytes:\n"
+                "        return 0.0\n"
+                "    ratio = total_bytes / bound_bytes\n"
+                "    return 100.0 * ratio\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R072" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R073 — declared dtype mixing
+# ----------------------------------------------------------------------
+
+
+def test_r073_fires_on_declared_int_float_mix(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/mix.py": (
+                "import numpy as np\n"
+                "def mixed(layers):\n"
+                "    a = np.array([la.in_c for la in layers], dtype=np.int64)\n"
+                "    b = np.array([la.stride for la in layers], dtype=np.float64)\n"
+                "    return a + b\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r073 = [f for f in report if f.code == "R073" and f.active]
+    assert r073 and "int" in r073[0].message and "float" in r073[0].message
+
+
+def test_r073_clean_when_dtype_not_declared(tmp_path: Path) -> None:
+    """Inferred dtype families never fire — only explicit declarations."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/mix.py": (
+                "import numpy as np\n"
+                "def mixed(layers):\n"
+                "    a = np.array([la.in_c for la in layers], dtype=np.int64)\n"
+                "    b = np.array([la.stride for la in layers])\n"
+                "    return a + b\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R073" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# R074 — unguarded possibly-zero division
+# ----------------------------------------------------------------------
+
+
+def test_r074_fires_on_unguarded_zero_divisor(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/div.py": (
+                "def utilization(used_bytes, free_bytes):\n"
+                "    return used_bytes / free_bytes\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    r074 = [f for f in report if f.code == "R074" and f.active]
+    assert r074 and "free_bytes" in r074[0].message
+    assert "zero" in r074[0].message
+
+
+def test_r074_clean_with_branch_or_max_guard(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/div.py": (
+                "def guarded(used_bytes, free_bytes):\n"
+                "    if free_bytes:\n"
+                "        return used_bytes / free_bytes\n"
+                "    return 0.0\n"
+                "def clamped(used_bytes, spare_bytes):\n"
+                "    return used_bytes / max(1, spare_bytes)\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R074" not in active_codes(report)
+
+
+def test_r074_clean_for_positive_seeded_divisor(tmp_path: Path) -> None:
+    """Spec-validated quantities are seeded positive and never fire."""
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/div.py": (
+                "def per_elem(total_bytes, bytes_per_elem):\n"
+                "    return total_bytes // bytes_per_elem\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert "R074" not in active_codes(report)
+
+
+# ----------------------------------------------------------------------
+# Suppressions and SARIF round-trip for the new packs
+# ----------------------------------------------------------------------
+
+
+def test_noqa_suppresses_r060_and_r070(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/mixed.py": (
+                "import numpy as np\n"
+                "hits = {}\n"
+                "def handle_one(request):\n"
+                "    hits[request] = 1  # repro: noqa[R060] -- benign test seam\n"
+                "def blow_up(layers):\n"
+                "    macs = np.array([la.macs for la in layers], dtype=np.int64)\n"
+                "    return macs * macs  # repro: noqa[R070] -- fixture\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    assert not active_codes(report) & {"R060", "R070"}
+    assert {"R060", "R070"} <= {f.code for f in report.suppressed}
+
+
+def test_sarif_round_trip_for_new_packs(tmp_path: Path) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/bad.py": (
+                "import numpy as np\n"
+                "hits = {}\n"
+                "def handle_one(request):\n"
+                "    hits[request] = 1\n"
+                "def blow_up(layers):\n"
+                "    macs = np.array([la.macs for la in layers], dtype=np.int64)\n"
+                "    return macs * macs\n"
+            ),
+        },
+    )
+    report = analyze_paths([root], root=root, use_baseline=False)
+    payload = sarif_payload(report)
+    assert validate_sarif_payload(payload) == []
+    run = payload["runs"][0]
+    results_by_rule = {r["ruleId"] for r in run["results"]}
+    assert {"R060", "R070"} <= results_by_rule
+    for result in run["results"]:
+        if result["ruleId"] in ("R060", "R070"):
+            fp = result["partialFingerprints"][FINGERPRINT_KEY]
+            assert isinstance(fp, str) and fp
+    rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "R060" in rule_ids and "R070" in rule_ids
+
+
+# ----------------------------------------------------------------------
+# Pack selection and incremental mode
+# ----------------------------------------------------------------------
+
+_TWO_HAZARDS = {
+    "pkg/two.py": (
+        "import numpy as np\n"
+        "hits = {}\n"
+        "def handle_one(request):\n"
+        "    hits[request] = 1\n"
+        "def f(a_bytes, b_elems):\n"
+        "    return a_bytes + b_elems\n"
+    ),
+}
+
+
+def test_packs_selection_runs_only_named_packs(tmp_path: Path) -> None:
+    root = mini_project(tmp_path, dict(_TWO_HAZARDS))
+    full = analyze_paths([root], root=root, use_baseline=False)
+    assert {"R001", "R060"} <= active_codes(full)
+    only_units = analyze_paths(
+        [root], root=root, use_baseline=False, packs=["units"]
+    )
+    assert "R001" in active_codes(only_units)
+    assert "R060" not in active_codes(only_units)
+    only_conc = analyze_paths(
+        [root], root=root, use_baseline=False, packs=["concurrency"]
+    )
+    assert "R060" in active_codes(only_conc)
+    assert "R001" not in active_codes(only_conc)
+
+
+def test_packs_unknown_name_raises(tmp_path: Path) -> None:
+    root = mini_project(tmp_path, dict(_TWO_HAZARDS))
+    with pytest.raises(ValueError, match="unknown rule pack"):
+        analyze_paths([root], root=root, use_baseline=False, packs=["nope"])
+
+
+def test_packs_cli_flag_and_bad_name_exit_code(tmp_path: Path, capsys) -> None:
+    root = mini_project(tmp_path, dict(_TWO_HAZARDS))
+    assert main(["lint", str(root), "--packs", "registry"]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(root), "--packs", "nope"]) == 2
+    assert "unknown rule pack" in capsys.readouterr().err
+
+
+def test_changed_files_limits_scope_and_skips_project_rules(
+    tmp_path: Path,
+) -> None:
+    root = mini_project(
+        tmp_path,
+        {
+            "pkg/clean.py": "def ok():\n    return 1\n",
+            **_TWO_HAZARDS,
+        },
+    )
+    report = analyze_paths(
+        [root],
+        root=root,
+        use_baseline=False,
+        changed_files=[root / "pkg" / "two.py"],
+    )
+    assert report.files == 1
+    # File-scope units rule still fires on the changed file…
+    assert "R001" in active_codes(report)
+    # …but the whole-program packs are skipped (their call graph would
+    # be incomplete over a partial file set).
+    assert "R060" not in active_codes(report)
+
+
+def test_changed_files_cli_flag(tmp_path: Path, capsys) -> None:
+    root = mini_project(tmp_path, dict(_TWO_HAZARDS))
+    code = main(
+        [
+            "lint",
+            str(root),
+            "--changed-files",
+            str(root / "pkg" / "two.py"),
+            "--format",
+            "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1  # R001 fires on the changed file
+    codes = {f["code"] for f in payload["diagnostics"]}
+    assert "R001" in codes and "R060" not in codes
